@@ -1,0 +1,73 @@
+// Reproduces Fig. 3 of the paper: PEHE-vs-bias-rate curves on
+// Syn_16_16_16_2 for all nine methods (trained at rho = +2.5). The
+// figure is emitted as a per-method series table plus the paper's
+// headline statistic: the relative PEHE degradation from the ID
+// environment (rho = 2.5) to the farthest OOD environment (rho = -3).
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "eval/table_printer.h"
+#include "harness.h"
+#include "stats/metrics.h"
+
+namespace sbrl {
+namespace bench {
+namespace {
+
+int Main() {
+  const Scale scale = GetScale();
+  PrintBanner("bench_fig3_syn16_pehe",
+              "Fig. 3 — PEHE on Syn_16_16_16_2 vs test bias rate", scale);
+  SyntheticDims dims;
+  dims.m_i = dims.m_c = dims.m_a = 16;
+  dims.m_v = 2;
+  SweepOutput sweep = RunSyntheticSweep(dims, AllNineMethods(),
+                                        PaperRhoGrid(), scale, /*seed=*/72);
+
+  std::vector<std::string> headers = {"Method"};
+  for (double rho : sweep.rho_grid) {
+    headers.push_back("rho=" + FormatDouble(rho, 1));
+  }
+  headers.push_back("degradation");
+  TablePrinter table(headers);
+
+  // Locate the ID (2.5) and farthest OOD (-3) environments.
+  size_t idx_id = 0, idx_far = 0;
+  for (size_t r = 0; r < sweep.rho_grid.size(); ++r) {
+    if (sweep.rho_grid[r] == 2.5) idx_id = r;
+    if (sweep.rho_grid[r] == -3.0) idx_far = r;
+  }
+
+  for (size_t m = 0; m < sweep.methods.size(); ++m) {
+    std::vector<std::string> row = {sweep.methods[m].name()};
+    std::vector<double> means;
+    for (size_t r = 0; r < sweep.rho_grid.size(); ++r) {
+      std::vector<double> pehes;
+      for (const EvalResult& res : sweep.cells[m][r]) {
+        pehes.push_back(res.pehe);
+      }
+      const double mean = AggregateOverEnvironments(pehes).mean;
+      means.push_back(mean);
+      row.push_back(FormatDouble(mean, 3));
+    }
+    // Paper footnote 2: Decrease = (PEHE(-3) - PEHE(2.5)) / PEHE(2.5).
+    const double decrease =
+        (means[idx_far] - means[idx_id]) / means[idx_id] * 100.0;
+    row.push_back(FormatDouble(decrease, 1) + "%");
+    table.AddRow(std::move(row));
+    if (m % 3 == 2 && m + 1 < sweep.methods.size()) table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): baselines degrade ~56-77% from "
+               "rho=2.5 to rho=-3;\n+SBRL reduces the degradation; "
+               "+SBRL-HAP flattens the curve the most\n(paper: DeR-CFR 56% "
+               "-> +SBRL 42% -> +SBRL-HAP 11%).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sbrl
+
+int main() { return sbrl::bench::Main(); }

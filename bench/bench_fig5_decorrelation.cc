@@ -1,0 +1,77 @@
+// Reproduces Fig. 5 of the paper: nonlinear correlation (pairwise
+// HSIC-RFF) among sampled dimensions of the balanced representation
+// learned by CFR, CFR+SBRL, and CFR+SBRL-HAP on Syn_16_16_16_2. The
+// paper reports average pairwise statistics 0.85 / 0.64 / 0.58 — the
+// reproduced artifact is the strictly decreasing ordering.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "data/split.h"
+#include "eval/table_printer.h"
+#include "harness.h"
+#include "stats/correlation.h"
+
+namespace sbrl {
+namespace bench {
+namespace {
+
+int Main() {
+  const Scale scale = GetScale();
+  PrintBanner("bench_fig5_decorrelation",
+              "Fig. 5 — pairwise HSIC-RFF of 25 sampled representation "
+              "dims (CFR family)",
+              scale);
+  SyntheticDims dims;
+  dims.m_i = dims.m_c = dims.m_a = 16;
+  dims.m_v = 2;
+  SyntheticModel model(dims, 74);
+  CausalDataset pool = model.SampleEnvironment(
+      scale.n_train + scale.n_valid, 2.5, 75);
+  Rng split_rng(76);
+  TrainValid tv = SplitTrainValid(
+      pool,
+      static_cast<double>(scale.n_train) /
+          static_cast<double>(scale.n_train + scale.n_valid),
+      split_rng);
+
+  const std::vector<MethodSpec> methods = {
+      {BackboneKind::kCfr, FrameworkKind::kVanilla},
+      {BackboneKind::kCfr, FrameworkKind::kSbrl},
+      {BackboneKind::kCfr, FrameworkKind::kSbrlHap},
+  };
+  TablePrinter table({"Method", "avg pairwise HSIC-RFF", "max pair",
+                      "reduction vs CFR"});
+  double cfr_level = 0.0;
+  for (const MethodSpec& spec : methods) {
+    EstimatorConfig config = WithMethod(BaseConfig(scale, 77), spec);
+    std::cerr << "[fig5] training " << spec.name() << "...\n";
+    auto estimator = HteEstimator::Create(config);
+    SBRL_CHECK(estimator.ok());
+    SBRL_CHECK(estimator->Fit(tv.train, &tv.valid).ok());
+    Matrix rep = estimator->RepresentationOf(tv.train.x);
+    // Weighted statistic under the learned sample weights (uniform for
+    // vanilla CFR), over (up to) 25 sampled dimensions as in the paper.
+    Rng stat_rng(78);  // same dim sample + feature draws for all methods
+    Matrix h = PairwiseHsicRffMatrix(rep, estimator->sample_weights(),
+                                     /*num_features=*/5, stat_rng,
+                                     /*max_dims=*/25);
+    const double avg = MeanOffDiagonal(h);
+    if (spec.framework == FrameworkKind::kVanilla) cfr_level = avg;
+    const double reduction =
+        cfr_level > 0.0 ? (cfr_level - avg) / cfr_level * 100.0 : 0.0;
+    table.AddRow({spec.name(), FormatDouble(avg, 4),
+                  FormatDouble(h.MaxValue(), 4),
+                  FormatDouble(reduction, 1) + "%"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): CFR > CFR+SBRL > CFR+SBRL-HAP "
+               "(0.85 -> 0.64 -> 0.58, a 37% total reduction).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sbrl
+
+int main() { return sbrl::bench::Main(); }

@@ -1,0 +1,75 @@
+// Reproduces Fig. 6 of the paper: sensitivity of CFR+SBRL-HAP to the
+// hierarchical-attention hyper-parameters gamma1 (last layer), gamma2
+// (balanced representation) and gamma3 (other layers), swept one at a
+// time over {0, 0.01, 0.1, 1, 10, 100} on Syn_16_16_16_2, reporting
+// (a) PEHE on the ID environment rho = 2.5 and (b) factual F1 on the
+// farthest OOD environment rho = -3.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "data/split.h"
+#include "eval/table_printer.h"
+#include "harness.h"
+
+namespace sbrl {
+namespace bench {
+namespace {
+
+int Main() {
+  const Scale scale = GetScale();
+  PrintBanner("bench_fig6_hyperparam",
+              "Fig. 6(a,b) — gamma1/gamma2/gamma3 sensitivity of "
+              "CFR+SBRL-HAP on Syn_16_16_16_2",
+              scale);
+  SyntheticDims dims;
+  dims.m_i = dims.m_c = dims.m_a = 16;
+  dims.m_v = 2;
+  SyntheticModel model(dims, 101);
+  CausalDataset pool = model.SampleEnvironment(
+      scale.n_train + scale.n_valid, 2.5, 102);
+  Rng split_rng(103);
+  TrainValid tv = SplitTrainValid(
+      pool,
+      static_cast<double>(scale.n_train) /
+          static_cast<double>(scale.n_train + scale.n_valid),
+      split_rng);
+  CausalDataset test_id = model.SampleEnvironment(scale.n_test, 2.5, 104);
+  CausalDataset test_ood = model.SampleEnvironment(scale.n_test, -3.0, 105);
+
+  const std::vector<double> sweep_values = {0.0, 0.01, 0.1, 1.0, 10.0,
+                                            100.0};
+  for (int which = 1; which <= 3; ++which) {
+    std::cout << "\nSweep of gamma" << which
+              << " (others at bench defaults)\n";
+    TablePrinter table({"gamma" + std::to_string(which),
+                        "PEHE rho=2.5 (ID)", "F1 factual rho=-3 (OOD)"});
+    for (double value : sweep_values) {
+      EstimatorConfig config = BaseConfig(scale, 106);
+      config.backbone = BackboneKind::kCfr;
+      config.framework = FrameworkKind::kSbrlHap;
+      if (which == 1) config.sbrl.gamma1 = value;
+      if (which == 2) config.sbrl.gamma2 = value;
+      if (which == 3) config.sbrl.gamma3 = value;
+      std::cerr << "[fig6] gamma" << which << "=" << value << "...\n";
+      auto results = TrainAndEvaluate(config, tv.train, &tv.valid,
+                                      {&test_id, &test_ood});
+      SBRL_CHECK(results.ok()) << results.status().ToString();
+      table.AddRow({FormatDouble(value, 2),
+                    FormatDouble((*results)[0].pehe, 3),
+                    FormatDouble((*results)[1].f1_factual, 3)});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper): strong gamma1 (last layer) helps; "
+               "very large gamma2 hurts\n(prefer attention on Z_p over "
+               "Z_r); gamma3 is the most sensitive knob because it "
+               "touches\nevery hidden layer.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sbrl
+
+int main() { return sbrl::bench::Main(); }

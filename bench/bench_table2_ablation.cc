@@ -1,0 +1,99 @@
+// Reproduces Table II of the paper: ablation of the three sub-modules
+// on Syn_16_16_16_2 — Balancing Regularizer (BR / L_B), Independence
+// Regularizer (IR / L_I) and Hierarchical-Attention Paradigm
+// (HAP / L_H = L_D(Z_r) + L_D(Z_o)) — reporting PEHE on the ID
+// environment (rho = 2.5) and the farthest OOD environment (rho = -3).
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "data/split.h"
+#include "eval/table_printer.h"
+#include "harness.h"
+#include "stats/metrics.h"
+
+namespace sbrl {
+namespace bench {
+namespace {
+
+struct AblationRow {
+  std::string label;
+  bool br;
+  bool ir;
+  bool hap;
+};
+
+int Main() {
+  const Scale scale = GetScale();
+  PrintBanner("bench_table2_ablation",
+              "Table II — sub-module ablation (BR / IR / HAP) on "
+              "Syn_16_16_16_2",
+              scale);
+  SyntheticDims dims;
+  dims.m_i = dims.m_c = dims.m_a = 16;
+  dims.m_v = 2;
+
+  const std::vector<AblationRow> rows = {
+      {"   IR + HAP (no BR)", false, true, true},
+      {"BR +    HAP (no IR)", true, false, true},
+      {"BR + IR     (no HAP)", true, true, false},
+      {"BR + IR + HAP (full)", true, true, true},
+  };
+
+  TablePrinter table({"Sub-modules", "PEHE rho=2.5 (ID)",
+                      "PEHE rho=-3 (OOD)"});
+  for (const AblationRow& row : rows) {
+    std::vector<double> pehe_id, pehe_ood;
+    for (int rep = 0; rep < scale.replications; ++rep) {
+      const uint64_t seed = 81 + static_cast<uint64_t>(rep) * 1000003;
+      SyntheticModel model(dims, seed);
+      CausalDataset pool = model.SampleEnvironment(
+          scale.n_train + scale.n_valid, 2.5, seed + 1);
+      Rng split_rng(seed + 2);
+      TrainValid tv = SplitTrainValid(
+          pool,
+          static_cast<double>(scale.n_train) /
+              static_cast<double>(scale.n_train + scale.n_valid),
+          split_rng);
+      CausalDataset test_id =
+          model.SampleEnvironment(scale.n_test, 2.5, seed + 3);
+      CausalDataset test_ood =
+          model.SampleEnvironment(scale.n_test, -3.0, seed + 4);
+
+      EstimatorConfig config = BaseConfig(scale, seed + 5);
+      config.backbone = BackboneKind::kCfr;
+      // HAP toggles the framework; BR / IR toggle their loss weights.
+      config.framework =
+          row.hap ? FrameworkKind::kSbrlHap : FrameworkKind::kSbrl;
+      if (!row.br) config.sbrl.alpha_br = 0.0;
+      if (!row.ir) config.sbrl.gamma1 = 0.0;
+      if (row.hap) {
+        // Give the hierarchy tiers visible strength in the ablation.
+        config.sbrl.gamma2 = 0.1;
+        config.sbrl.gamma3 = 0.1;
+      }
+      std::cerr << "[table2 rep " << rep + 1 << "] " << row.label << "...\n";
+      auto results = TrainAndEvaluate(config, tv.train, &tv.valid,
+                                      {&test_id, &test_ood});
+      SBRL_CHECK(results.ok()) << results.status().ToString();
+      pehe_id.push_back((*results)[0].pehe);
+      pehe_ood.push_back((*results)[1].pehe);
+    }
+    const EnvAggregate agg_id = AggregateOverEnvironments(pehe_id);
+    const EnvAggregate agg_ood = AggregateOverEnvironments(pehe_ood);
+    table.AddRow({row.label, FormatMeanStd(agg_id.mean, agg_id.std_dev),
+                  FormatMeanStd(agg_ood.mean, agg_ood.std_dev)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): removing any sub-module hurts the "
+               "OOD column;\ndropping HAP hurts rho=-3 the most (0.662 vs "
+               "0.591 full), while the full model\ntrades a little ID "
+               "accuracy for OOD stability.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sbrl
+
+int main() { return sbrl::bench::Main(); }

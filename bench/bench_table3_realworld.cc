@@ -1,0 +1,98 @@
+// Reproduces Table III of the paper: PEHE and eps-ATE on the
+// training / validation / testing splits of the Twins and IHDP
+// benchmarks for all nine methods. The test split is the biased OOD
+// environment (Twins: 20% sampled with rho = -2.5 over the unstable
+// block; IHDP: 10% sampled over the continuous covariates).
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "data/ihdp.h"
+#include "data/twins.h"
+#include "eval/table_printer.h"
+#include "harness.h"
+#include "stats/metrics.h"
+
+namespace sbrl {
+namespace bench {
+namespace {
+
+struct SplitResults {
+  std::vector<EvalResult> train, valid, test;
+};
+
+void RunDataset(const std::string& dataset_name,
+                const std::function<RealWorldSplits(uint64_t)>& make_splits,
+                const Scale& scale, uint64_t seed) {
+  std::cout << "\n--- " << dataset_name << " ---\n";
+  const auto methods = AllNineMethods();
+  std::vector<SplitResults> per_method(methods.size());
+
+  for (int rep = 0; rep < scale.replications; ++rep) {
+    const uint64_t rep_seed = seed + static_cast<uint64_t>(rep) * 1000003;
+    RealWorldSplits splits = make_splits(rep_seed);
+    for (size_t m = 0; m < methods.size(); ++m) {
+      EstimatorConfig config =
+          WithMethod(BaseConfig(scale, rep_seed + 7), methods[m]);
+      std::cerr << "[" << dataset_name << " rep " << rep + 1 << "] "
+                << methods[m].name() << "...\n";
+      auto results =
+          TrainAndEvaluate(config, splits.train, &splits.valid,
+                           {&splits.train, &splits.valid, &splits.test});
+      SBRL_CHECK(results.ok()) << results.status().ToString();
+      per_method[m].train.push_back((*results)[0]);
+      per_method[m].valid.push_back((*results)[1]);
+      per_method[m].test.push_back((*results)[2]);
+    }
+  }
+
+  TablePrinter table({"Method", "PEHE train", "PEHE valid", "PEHE test",
+                      "eATE train", "eATE valid", "eATE test"});
+  for (size_t m = 0; m < methods.size(); ++m) {
+    table.AddRow({methods[m].name(), CellPehe(per_method[m].train),
+                  CellPehe(per_method[m].valid),
+                  CellPehe(per_method[m].test),
+                  CellAte(per_method[m].train),
+                  CellAte(per_method[m].valid),
+                  CellAte(per_method[m].test)});
+    if (m % 3 == 2 && m + 1 < methods.size()) table.AddSeparator();
+  }
+  table.Print(std::cout);
+}
+
+int Main() {
+  const Scale scale = GetScale();
+  PrintBanner("bench_table3_realworld",
+              "Table III — treatment effect estimation on Twins and IHDP "
+              "(simulated per DESIGN.md)",
+              scale);
+
+  TwinsConfig twins_config;
+  // Keep the bench tractable below full scale; "full" uses 5271.
+  if (scale.name == "smoke") {
+    twins_config.n = 800;
+  } else if (scale.name == "default") {
+    twins_config.n = 2000;
+  }
+  RunDataset("Twins", [&twins_config](uint64_t s) {
+    return MakeTwinsReplication(twins_config, s);
+  }, scale, 91);
+
+  IhdpConfig ihdp_config;  // 747 units always (the real size is small)
+  RunDataset("IHDP", [&ihdp_config](uint64_t s) {
+    return MakeIhdpReplication(ihdp_config, s);
+  }, scale, 92);
+
+  std::cout << "\nExpected shape (paper): +SBRL-HAP clearly improves the "
+               "OOD test split\n(Twins: PEHE 0.630->0.547 for TARNet, "
+               "0.613->0.547 for CFR, 0.585->0.552 for DeR-CFR)\nwhile "
+               "staying comparable on the in-distribution train/valid "
+               "splits.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sbrl
+
+int main() { return sbrl::bench::Main(); }

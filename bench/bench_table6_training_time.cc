@@ -1,0 +1,56 @@
+// Reproduces Table VI of the paper: single-execution training time of
+// the nine methods on the IHDP dataset. Uses google-benchmark for the
+// measurement loop. The reproduced artifact is the cost ordering:
+// vanilla < +SBRL < +SBRL-HAP, with roughly 2x / 3x multipliers for
+// TARNet and CFR and a smaller relative overhead for DeR-CFR.
+
+#include <benchmark/benchmark.h>
+
+#include "data/ihdp.h"
+#include "harness.h"
+
+namespace sbrl {
+namespace bench {
+namespace {
+
+void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
+  Scale scale = GetScale();
+  // Table VI measures one execution; keep the iteration budget modest
+  // so the whole 9-method suite stays tractable.
+  if (scale.name == "default") scale.iterations = 80;
+  IhdpConfig data_config;
+  RealWorldSplits splits = MakeIhdpReplication(data_config, 111);
+  for (auto _ : state) {
+    EstimatorConfig config = WithMethod(BaseConfig(scale, 112), spec);
+    config.train.eval_every = 0;  // measure the raw optimization loop
+    auto estimator = HteEstimator::Create(config);
+    SBRL_CHECK(estimator.ok());
+    SBRL_CHECK(estimator->Fit(splits.train, &splits.valid).ok());
+    benchmark::DoNotOptimize(estimator->PredictAte(splits.test.x));
+  }
+  state.SetLabel(spec.name());
+}
+
+void RegisterAll() {
+  for (const MethodSpec& spec : AllNineMethods()) {
+    benchmark::RegisterBenchmark(("TrainIhdp/" + spec.name()).c_str(),
+                                 [spec](benchmark::State& state) {
+                                   TrainOnIhdp(state, spec);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->MeasureProcessCPUTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sbrl
+
+int main(int argc, char** argv) {
+  sbrl::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

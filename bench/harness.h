@@ -1,0 +1,68 @@
+#ifndef SBRL_BENCH_HARNESS_H_
+#define SBRL_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+namespace sbrl {
+namespace bench {
+
+/// Experiment scale. The paper's hardware (48-core EPYC, TensorFlow,
+/// 3000 iterations, up to 100 replications) is replaced by scaled-down
+/// defaults that preserve orderings and trends; set the environment
+/// variable SBRL_BENCH_SCALE to "smoke" (seconds, CI), "default", or
+/// "full" (closer to paper scale, minutes per table).
+struct Scale {
+  std::string name = "default";
+  int64_t n_train = 500;
+  int64_t n_valid = 200;
+  int64_t n_test = 400;
+  int64_t iterations = 150;
+  int replications = 2;
+  int64_t rep_width = 32;
+  int64_t head_width = 16;
+};
+
+/// Reads SBRL_BENCH_SCALE and returns the corresponding scale.
+Scale GetScale();
+
+/// Base estimator configuration shared by the synthetic benches,
+/// following the structure of the paper's Table IV settings at the
+/// bench scale.
+EstimatorConfig BaseConfig(const Scale& scale, uint64_t seed);
+
+/// The paper's test-environment grid (Sec. V-D).
+std::vector<double> PaperRhoGrid();
+
+/// Per-method, per-environment, per-replication results of a synthetic
+/// OOD sweep. cells[m][r] holds one EvalResult per replication for
+/// method m evaluated on environment rho_grid[r].
+struct SweepOutput {
+  std::vector<MethodSpec> methods;
+  std::vector<double> rho_grid;
+  std::vector<std::vector<std::vector<EvalResult>>> cells;
+};
+
+/// Trains every method on the rho = +2.5 environment of `dims` and
+/// evaluates across the rho grid, repeated `scale.replications` times
+/// with distinct seeds. Prints progress to stderr.
+SweepOutput RunSyntheticSweep(const SyntheticDims& dims,
+                              const std::vector<MethodSpec>& methods,
+                              const std::vector<double>& rho_grid,
+                              const Scale& scale, uint64_t seed);
+
+/// Formats "mean ±std" over the replications of one metric in a cell.
+std::string CellPehe(const std::vector<EvalResult>& runs);
+std::string CellAte(const std::vector<EvalResult>& runs);
+
+/// Prints the standard bench banner (experiment id, scale, caveat).
+void PrintBanner(const std::string& experiment,
+                 const std::string& paper_artifact, const Scale& scale);
+
+}  // namespace bench
+}  // namespace sbrl
+
+#endif  // SBRL_BENCH_HARNESS_H_

@@ -1,0 +1,131 @@
+// Extending the framework: the paper stresses that SBRL-HAP is
+// model-agnostic — "most existing representation balancing methods can
+// be incorporated as backbones". This example implements a custom
+// backbone (a single-head S-learner that appends the treatment to the
+// representation) against the Backbone interface and trains it inside
+// the SBRL-HAP framework, unchanged.
+
+#include <iostream>
+#include <memory>
+
+#include "core/estimator.h"
+#include "core/trainer.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "stats/metrics.h"
+#include "tensor/linalg.h"
+
+namespace sbrl {
+namespace {
+
+/// S-learner: one head h([Phi(x), t]) evaluated at t=0 and t=1.
+class SLearnerBackbone : public Backbone {
+ public:
+  SLearnerBackbone(int64_t input_dim, Rng& rng) : input_dim_(input_dim) {
+    MlpConfig rep;
+    rep.input_dim = input_dim;
+    rep.hidden = {32, 32};
+    rep_ = Mlp("slearner.rep", rep, rng);
+    MlpConfig head;
+    head.input_dim = 33;  // representation + treatment indicator
+    head.hidden = {16, 16};
+    head_ = Mlp("slearner.head", head, rng);
+    out_ = Dense("slearner.out", 16, 1, rng);
+  }
+
+  BackboneForward Forward(ParamBinder& binder, const Matrix& x,
+                          const std::vector<int>& t, Var /*w*/,
+                          bool training) override {
+    Tape* tape = binder.tape();
+    std::vector<Var> rep_layers =
+        rep_.ForwardCollect(binder, tape->Constant(x), training);
+    Var rep = rep_layers.back();
+    auto head_for = [&](double treatment) {
+      Var t_col = tape->Constant(Matrix::Constant(x.rows(), 1, treatment));
+      Var joined = ops::ConcatCols(rep, t_col);
+      std::vector<Var> hs = head_.ForwardCollect(binder, joined, training);
+      return std::pair<Var, std::vector<Var>>(out_.Forward(binder, hs.back()),
+                                              hs);
+    };
+    auto [y0, h0] = head_for(0.0);
+    auto [y1, h1] = head_for(1.0);
+    BackboneForward fwd;
+    fwd.y0 = y0;
+    fwd.y1 = y1;
+    fwd.rep = rep;
+    fwd.z_p = ops::SelectRowsByTreatment(h1.back(), h0.back(), t);
+    for (size_t i = 0; i + 1 < rep_layers.size(); ++i) {
+      fwd.z_other.push_back(rep_layers[i]);
+    }
+    fwd.aux_loss = tape->Constant(Matrix::Zeros(1, 1));
+    return fwd;
+  }
+
+  void CollectParams(std::vector<Param*>* out) override {
+    rep_.CollectParams(out);
+    head_.CollectParams(out);
+    out_.CollectParams(out);
+  }
+  std::vector<Param*> DecayParams() override { return {}; }
+  int64_t input_dim() const override { return input_dim_; }
+
+ private:
+  int64_t input_dim_;
+  Mlp rep_;
+  Mlp head_;
+  Dense out_;
+};
+
+}  // namespace
+}  // namespace sbrl
+
+int main() {
+  using namespace sbrl;
+
+  SyntheticModel world(SyntheticDims{}, 31);
+  CausalDataset observed = world.SampleEnvironment(1000, 2.5, 32);
+  CausalDataset shifted = world.SampleEnvironment(500, -2.5, 33);
+  Rng split_rng(34);
+  TrainValid tv = SplitTrainValid(observed, 0.7, split_rng);
+
+  // Drive the custom backbone directly with the SBRL trainer — the
+  // same Algorithm 1 loop the built-in estimator uses.
+  EstimatorConfig config;
+  config.framework = FrameworkKind::kSbrlHap;
+  config.backbone = BackboneKind::kCfr;  // only steers alpha defaults
+  config.train.iterations = 150;
+  config.train.eval_every = 25;
+
+  Rng rng(35);
+  SLearnerBackbone backbone(observed.dim(), rng);
+  SbrlTrainer trainer(config, &backbone, /*binary_outcome=*/true);
+  TrainDiagnostics diag;
+  Matrix weights;
+  Status s = trainer.Train(tv.train, &tv.valid, &diag, &weights);
+  if (!s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "custom S-learner trained inside SBRL-HAP ("
+            << diag.train_loss.size() << " evals, final train loss "
+            << diag.train_loss.back() << ")\n";
+
+  // Manual prediction pass using the backbone directly.
+  Tape tape;
+  ParamBinder binder(&tape);
+  std::vector<int> dummy_t(static_cast<size_t>(shifted.n()), 0);
+  Var w_uniform = tape.Constant(Matrix::Ones(shifted.n(), 1));
+  BackboneForward fwd =
+      backbone.Forward(binder, shifted.x, dummy_t, w_uniform, false);
+  std::vector<double> ite(static_cast<size_t>(shifted.n()));
+  for (int64_t i = 0; i < shifted.n(); ++i) {
+    const double p1 = 1.0 / (1.0 + std::exp(-fwd.y1.value()(i, 0)));
+    const double p0 = 1.0 / (1.0 + std::exp(-fwd.y0.value()(i, 0)));
+    ite[static_cast<size_t>(i)] = p1 - p0;
+  }
+  std::cout << "PEHE of the custom backbone on the shifted population: "
+            << Pehe(ite, shifted.TrueIte()) << "\n";
+  std::cout << "sample-weight spread learned by SBRL-HAP: std = "
+            << StdDev(weights) << "\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Healthcare scenario from the paper's introduction (Fig. 1): a drug
+// effectiveness model is trained on urban-hospital records and then
+// deployed on a remote-village population whose covariate distribution
+// is different. Vanilla CFR and CFR+SBRL-HAP are compared on both the
+// in-distribution and the shifted population.
+//
+// The Twins simulator plays the role of the medical registry: mortality
+// outcomes, heavier-twin treatment, and an unstable covariate block
+// whose correlation with the outcome flips across environments.
+
+#include <iostream>
+
+#include "core/estimator.h"
+#include "data/twins.h"
+#include "eval/table_printer.h"
+#include "stats/metrics.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace sbrl;
+
+  std::cout << "Scenario: train a treatment-effect model on one hospital "
+               "population,\ndeploy it on a demographically shifted one "
+               "(paper Fig. 1).\n\n";
+
+  TwinsConfig registry;
+  registry.n = 2500;
+  registry.rho = -2.5;  // the deployment population's bias rate
+  RealWorldSplits splits = MakeTwinsReplication(registry, /*seed=*/11);
+
+  std::cout << "registry: " << splits.train.n() << " training records, "
+            << splits.valid.n() << " validation records, "
+            << splits.test.n() << " records in the shifted deployment "
+            << "population\n\n";
+
+  TablePrinter table({"Model", "PEHE (ID valid)", "PEHE (OOD deploy)",
+                      "ATE bias (OOD deploy)"});
+
+  for (FrameworkKind framework :
+       {FrameworkKind::kVanilla, FrameworkKind::kSbrlHap}) {
+    EstimatorConfig config;
+    config.backbone = BackboneKind::kCfr;
+    config.framework = framework;
+    config.network.rep_width = 32;
+    config.network.head_width = 16;
+    config.train.iterations = 200;
+    config.train.seed = 13;
+    config.sbrl.hsic_pair_budget = 24;
+
+    auto estimator = HteEstimator::Create(config);
+    if (!estimator.ok()) {
+      std::cerr << estimator.status().ToString() << "\n";
+      return 1;
+    }
+    if (Status s = estimator->Fit(splits.train, &splits.valid); !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+    const auto ite_valid = estimator->PredictIte(splits.valid.x);
+    const auto ite_test = estimator->PredictIte(splits.test.x);
+    table.AddRow({MethodName(config.backbone, framework),
+                  FormatDouble(Pehe(ite_valid, splits.valid.TrueIte()), 3),
+                  FormatDouble(Pehe(ite_test, splits.test.TrueIte()), 3),
+                  FormatDouble(AteError(ite_test, splits.test.TrueIte()),
+                               3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: the SBRL-HAP column should hold up better on "
+               "the deployment\npopulation — the point of stable HTE "
+               "estimation across OOD populations.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Marketing uplift scenario: a promotion's effect on conversion is
+// estimated from last quarter's campaign logs (continuous spend
+// outcome, biased targeting), then applied to next quarter's shifted
+// customer mix. Demonstrates the continuous-outcome path (MSE heads,
+// internal outcome standardization) using the IHDP-style simulator, and
+// shows how to inspect the learned sample weights.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/estimator.h"
+#include "data/ihdp.h"
+#include "stats/metrics.h"
+#include "tensor/linalg.h"
+
+int main() {
+  using namespace sbrl;
+
+  std::cout << "Scenario: uplift modeling with a continuous outcome and a "
+               "shifted\ndeployment quarter (IHDP-style semi-synthetic "
+               "data).\n\n";
+
+  IhdpConfig campaign;  // 747 customers, 25 features, 10% shifted holdout
+  RealWorldSplits splits = MakeIhdpReplication(campaign, /*seed=*/21);
+
+  EstimatorConfig config;
+  config.backbone = BackboneKind::kDerCfr;  // decomposed representation
+  config.framework = FrameworkKind::kSbrlHap;
+  config.network.rep_width = 24;
+  config.network.head_width = 16;
+  config.train.iterations = 200;
+  config.train.seed = 23;
+
+  auto estimator = HteEstimator::Create(config);
+  if (!estimator.ok()) {
+    std::cerr << estimator.status().ToString() << "\n";
+    return 1;
+  }
+  if (Status s = estimator->Fit(splits.train, &splits.valid); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  // Uplift predictions on the shifted quarter.
+  const std::vector<double> uplift = estimator->PredictIte(splits.test.x);
+  std::cout << "predicted average uplift (shifted quarter): "
+            << estimator->PredictAte(splits.test.x) << "\n";
+  std::cout << "true average uplift:                        "
+            << splits.test.TrueAte() << "\n";
+  std::cout << "PEHE: " << Pehe(uplift, splits.test.TrueIte()) << "\n\n";
+
+  // Rank customers by predicted uplift — who should get the promotion?
+  std::vector<size_t> order(uplift.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&uplift](size_t a, size_t b) {
+    return uplift[a] > uplift[b];
+  });
+  std::cout << "top-5 customers by predicted uplift:\n";
+  for (size_t k = 0; k < 5 && k < order.size(); ++k) {
+    std::cout << "  customer " << order[k] << ": uplift "
+              << uplift[order[k]] << "\n";
+  }
+
+  // The stable-learning weights show which training records the model
+  // leaned on (near-uniform means little reweighting was needed).
+  const Matrix& w = estimator->sample_weights();
+  std::cout << "\nsample-weight summary: min " << w.MinValue() << ", mean "
+            << w.Mean() << ", max " << w.MaxValue() << ", std "
+            << StdDev(w) << "\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "autodiff/grad_check.h"
+
+#include <cmath>
+
+namespace sbrl {
+
+Matrix NumericalGradient(const std::function<double(const Matrix&)>& f,
+                         const Matrix& x, double eps) {
+  Matrix grad(x.rows(), x.cols());
+  Matrix probe = x;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const double saved = probe[i];
+    probe[i] = saved + eps;
+    const double hi = f(probe);
+    probe[i] = saved - eps;
+    const double lo = f(probe);
+    probe[i] = saved;
+    grad[i] = (hi - lo) / (2.0 * eps);
+  }
+  return grad;
+}
+
+double MaxGradientError(const std::function<double(const Matrix&)>& f,
+                        const Matrix& x, const Matrix& analytic_grad,
+                        double eps) {
+  const Matrix numeric = NumericalGradient(f, x, eps);
+  SBRL_CHECK(numeric.same_shape(analytic_grad));
+  double worst = 0.0;
+  for (int64_t i = 0; i < numeric.size(); ++i) {
+    worst = std::max(worst, std::abs(numeric[i] - analytic_grad[i]));
+  }
+  return worst;
+}
+
+}  // namespace sbrl

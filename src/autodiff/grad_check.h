@@ -1,0 +1,24 @@
+#ifndef SBRL_AUTODIFF_GRAD_CHECK_H_
+#define SBRL_AUTODIFF_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "tensor/matrix.h"
+
+namespace sbrl {
+
+/// Central-difference numerical gradient of a scalar-valued function at
+/// `x`: grad[i] = (f(x + eps e_i) - f(x - eps e_i)) / (2 eps).
+/// Used by the test suite to validate every autodiff op.
+Matrix NumericalGradient(const std::function<double(const Matrix&)>& f,
+                         const Matrix& x, double eps = 1e-5);
+
+/// Maximum absolute elementwise difference between an analytic gradient
+/// and the numerical gradient of `f` at `x`.
+double MaxGradientError(const std::function<double(const Matrix&)>& f,
+                        const Matrix& x, const Matrix& analytic_grad,
+                        double eps = 1e-5);
+
+}  // namespace sbrl
+
+#endif  // SBRL_AUTODIFF_GRAD_CHECK_H_

@@ -1,0 +1,531 @@
+#include "autodiff/ops.h"
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/linalg.h"
+
+namespace sbrl {
+namespace ops {
+
+namespace {
+
+/// CHECKs that both operands live on the same tape.
+Tape* SameTape(Var a, Var b) {
+  SBRL_CHECK(a.valid() && b.valid());
+  SBRL_CHECK(a.tape() == b.tape()) << "operands on different tapes";
+  return a.tape();
+}
+
+/// Generic unary elementwise op: y = f(x), dy/dx supplied as a function
+/// of (x, y) so implementations can reuse the forward value.
+Var UnaryOp(Var a, const std::function<double(double)>& f,
+            const std::function<double(double, double)>& df) {
+  Tape* t = a.tape();
+  SBRL_CHECK(a.valid());
+  Matrix out = Map(a.value(), f);
+  const int ai = a.id();
+  const int self = t->size();
+  return t->MakeNode(std::move(out), {a}, [ai, self, df](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& x = t->value(ai);
+    const Matrix& y = t->value(self);
+    Matrix da(x.rows(), x.cols());
+    for (int64_t i = 0; i < x.size(); ++i) da[i] = g[i] * df(x[i], y[i]);
+    t->AccumulateGrad(ai, da);
+  });
+}
+
+double StableSigmoid(double x) {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double StableSoftplus(double x) {
+  return std::max(x, 0.0) + std::log1p(std::exp(-std::abs(x)));
+}
+
+}  // namespace
+
+Var Add(Var a, Var b) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK(a.value().same_shape(b.value()))
+      << a.value().ShapeString() << " vs " << b.value().ShapeString();
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(a.value() + b.value(), {a, b}, [ai, bi, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    t->AccumulateGrad(ai, g);
+    t->AccumulateGrad(bi, g);
+  });
+}
+
+Var Sub(Var a, Var b) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK(a.value().same_shape(b.value()))
+      << a.value().ShapeString() << " vs " << b.value().ShapeString();
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(a.value() - b.value(), {a, b}, [ai, bi, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    t->AccumulateGrad(ai, g);
+    Matrix ng = g;
+    ng *= -1.0;
+    t->AccumulateGrad(bi, ng);
+  });
+}
+
+Var Mul(Var a, Var b) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK(a.value().same_shape(b.value()))
+      << a.value().ShapeString() << " vs " << b.value().ShapeString();
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(Hadamard(a.value(), b.value()), {a, b},
+                     [ai, bi, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    t->AccumulateGrad(ai, Hadamard(g, t->value(bi)));
+    t->AccumulateGrad(bi, Hadamard(g, t->value(ai)));
+  });
+}
+
+Var Div(Var a, Var b) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK(a.value().same_shape(b.value()))
+      << a.value().ShapeString() << " vs " << b.value().ShapeString();
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = a.value()[i] / b.value()[i];
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& av = t->value(ai);
+    const Matrix& bv = t->value(bi);
+    Matrix da(av.rows(), av.cols());
+    Matrix db(av.rows(), av.cols());
+    for (int64_t i = 0; i < av.size(); ++i) {
+      da[i] = g[i] / bv[i];
+      db[i] = -g[i] * av[i] / (bv[i] * bv[i]);
+    }
+    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(bi, db);
+  });
+}
+
+Var AddRow(Var a, Var row) {
+  Tape* t = SameTape(a, row);
+  SBRL_CHECK_EQ(row.rows(), 1);
+  SBRL_CHECK_EQ(row.cols(), a.cols());
+  const int ai = a.id(), ri = row.id(), self = t->size();
+  return t->MakeNode(AddRowBroadcast(a.value(), row.value()), {a, row},
+                     [ai, ri, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    t->AccumulateGrad(ai, g);
+    t->AccumulateGrad(ri, sbrl::ColSum(g));
+  });
+}
+
+Var AddCol(Var a, Var col) {
+  Tape* t = SameTape(a, col);
+  SBRL_CHECK_EQ(col.cols(), 1);
+  SBRL_CHECK_EQ(col.rows(), a.rows());
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      out(r, c) = a.value()(r, c) + col.value()(r, 0);
+    }
+  }
+  const int ai = a.id(), ci = col.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, col}, [ai, ci, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    t->AccumulateGrad(ai, g);
+    t->AccumulateGrad(ci, sbrl::RowSum(g));
+  });
+}
+
+Var MulRow(Var a, Var row) {
+  Tape* t = SameTape(a, row);
+  SBRL_CHECK_EQ(row.rows(), 1);
+  SBRL_CHECK_EQ(row.cols(), a.cols());
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      out(r, c) = a.value()(r, c) * row.value()(0, c);
+    }
+  }
+  const int ai = a.id(), ri = row.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, row}, [ai, ri, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& av = t->value(ai);
+    const Matrix& rv = t->value(ri);
+    Matrix da(av.rows(), av.cols());
+    Matrix dr(1, av.cols());
+    for (int64_t r = 0; r < av.rows(); ++r) {
+      for (int64_t c = 0; c < av.cols(); ++c) {
+        da(r, c) = g(r, c) * rv(0, c);
+        dr(0, c) += g(r, c) * av(r, c);
+      }
+    }
+    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(ri, dr);
+  });
+}
+
+Var MulCol(Var a, Var col) {
+  Tape* t = SameTape(a, col);
+  SBRL_CHECK_EQ(col.cols(), 1);
+  SBRL_CHECK_EQ(col.rows(), a.rows());
+  const int ai = a.id(), ci = col.id(), self = t->size();
+  return t->MakeNode(MulColBroadcast(a.value(), col.value()), {a, col},
+                     [ai, ci, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& av = t->value(ai);
+    const Matrix& cv = t->value(ci);
+    t->AccumulateGrad(ai, MulColBroadcast(g, cv));
+    t->AccumulateGrad(ci, sbrl::RowSum(Hadamard(g, av)));
+  });
+}
+
+Var MulScalar(Var a, Var s) {
+  Tape* t = SameTape(a, s);
+  SBRL_CHECK(s.value().is_scalar());
+  Matrix out = a.value() * s.value().scalar();
+  const int ai = a.id(), si = s.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, s}, [ai, si, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const double sv = t->value(si).scalar();
+    t->AccumulateGrad(ai, g * sv);
+    Matrix ds(1, 1);
+    ds(0, 0) = Dot(g, t->value(ai));
+    t->AccumulateGrad(si, ds);
+  });
+}
+
+Var DivScalar(Var a, Var s) {
+  Tape* t = SameTape(a, s);
+  SBRL_CHECK(s.value().is_scalar());
+  const double sv = s.value().scalar();
+  Matrix out = a.value() * (1.0 / sv);
+  const int ai = a.id(), si = s.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, s}, [ai, si, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const double sval = t->value(si).scalar();
+    t->AccumulateGrad(ai, g * (1.0 / sval));
+    Matrix ds(1, 1);
+    ds(0, 0) = -Dot(g, t->value(ai)) / (sval * sval);
+    t->AccumulateGrad(si, ds);
+  });
+}
+
+Var AddConst(Var a, double c) {
+  return UnaryOp(
+      a, [c](double x) { return x + c; },
+      [](double, double) { return 1.0; });
+}
+
+Var Scale(Var a, double c) {
+  return UnaryOp(
+      a, [c](double x) { return c * x; },
+      [c](double, double) { return c; });
+}
+
+Var Neg(Var a) { return Scale(a, -1.0); }
+
+Var Exp(Var a) {
+  return UnaryOp(
+      a, [](double x) { return std::exp(x); },
+      [](double, double y) { return y; });
+}
+
+Var Log(Var a) {
+  return UnaryOp(
+      a, [](double x) { return std::log(x); },
+      [](double x, double) { return 1.0 / x; });
+}
+
+Var Sqrt(Var a) {
+  return UnaryOp(
+      a, [](double x) { return std::sqrt(x); },
+      [](double, double y) { return 0.5 / (y > 0.0 ? y : 1e-12); });
+}
+
+Var Square(Var a) {
+  return UnaryOp(
+      a, [](double x) { return x * x; },
+      [](double x, double) { return 2.0 * x; });
+}
+
+Var Reciprocal(Var a) {
+  return UnaryOp(
+      a, [](double x) { return 1.0 / x; },
+      [](double, double y) { return -y * y; });
+}
+
+Var Abs(Var a) {
+  return UnaryOp(
+      a, [](double x) { return std::abs(x); },
+      [](double x, double) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
+}
+
+Var Sigmoid(Var a) {
+  return UnaryOp(
+      a, [](double x) { return StableSigmoid(x); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Var Tanh(Var a) {
+  return UnaryOp(
+      a, [](double x) { return std::tanh(x); },
+      [](double, double y) { return 1.0 - y * y; });
+}
+
+Var Softplus(Var a) {
+  return UnaryOp(
+      a, [](double x) { return StableSoftplus(x); },
+      [](double x, double) { return StableSigmoid(x); });
+}
+
+Var Elu(Var a) {
+  return UnaryOp(
+      a, [](double x) { return x > 0.0 ? x : std::expm1(x); },
+      [](double x, double y) { return x > 0.0 ? 1.0 : y + 1.0; });
+}
+
+Var Relu(Var a) {
+  return UnaryOp(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var Cos(Var a) {
+  return UnaryOp(
+      a, [](double x) { return std::cos(x); },
+      [](double x, double) { return -std::sin(x); });
+}
+
+Var Transpose(Var a) {
+  Tape* t = a.tape();
+  SBRL_CHECK(a.valid());
+  const int ai = a.id(), self = t->size();
+  return t->MakeNode(sbrl::Transpose(a.value()), {a}, [ai, self](Tape* t) {
+    t->AccumulateGrad(ai, sbrl::Transpose(t->grad(self)));
+  });
+}
+
+Var GatherRows(Var a, const std::vector<int64_t>& idx) {
+  Tape* t = a.tape();
+  SBRL_CHECK(a.valid());
+  const int ai = a.id(), self = t->size();
+  const int64_t parent_rows = a.rows();
+  return t->MakeNode(sbrl::GatherRows(a.value(), idx), {a},
+                     [ai, self, idx, parent_rows](Tape* t) {
+    t->AccumulateGrad(ai,
+                      sbrl::ScatterAddRows(t->grad(self), idx, parent_rows));
+  });
+}
+
+Var ConcatCols(Var a, Var b) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  const int64_t ac = a.cols(), bc = b.cols();
+  return t->MakeNode(sbrl::ConcatCols(a.value(), b.value()), {a, b},
+                     [ai, bi, self, ac, bc](Tape* t) {
+    const Matrix& g = t->grad(self);
+    Matrix da(g.rows(), ac);
+    Matrix db(g.rows(), bc);
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t c = 0; c < ac; ++c) da(r, c) = g(r, c);
+      for (int64_t c = 0; c < bc; ++c) db(r, c) = g(r, ac + c);
+    }
+    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(bi, db);
+  });
+}
+
+Var SelectRowsByTreatment(Var a, Var b, const std::vector<int>& t_assign) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK(a.value().same_shape(b.value()));
+  SBRL_CHECK_EQ(static_cast<int64_t>(t_assign.size()), a.rows());
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const Matrix& src = t_assign[static_cast<size_t>(r)] == 1 ? a.value()
+                                                              : b.value();
+    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = src(r, c);
+  }
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, b},
+                     [ai, bi, self, t_assign](Tape* t) {
+    const Matrix& g = t->grad(self);
+    Matrix da(g.rows(), g.cols());
+    Matrix db(g.rows(), g.cols());
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      Matrix& dst = t_assign[static_cast<size_t>(r)] == 1 ? da : db;
+      for (int64_t c = 0; c < g.cols(); ++c) dst(r, c) = g(r, c);
+    }
+    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(bi, db);
+  });
+}
+
+Var SliceCols(Var a, int64_t start, int64_t count) {
+  Tape* t = a.tape();
+  SBRL_CHECK(a.valid());
+  SBRL_CHECK(start >= 0 && count >= 0 && start + count <= a.cols());
+  Matrix out(a.rows(), count);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < count; ++c) out(r, c) = a.value()(r, start + c);
+  }
+  const int ai = a.id(), self = t->size();
+  const int64_t total = a.cols();
+  return t->MakeNode(std::move(out), {a},
+                     [ai, self, start, count, total](Tape* t) {
+    const Matrix& g = t->grad(self);
+    Matrix da(g.rows(), total);
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t c = 0; c < count; ++c) da(r, start + c) = g(r, c);
+    }
+    t->AccumulateGrad(ai, da);
+  });
+}
+
+Var SumAll(Var a) {
+  Tape* t = a.tape();
+  SBRL_CHECK(a.valid());
+  Matrix out(1, 1);
+  out(0, 0) = a.value().Sum();
+  const int ai = a.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a}, [ai, self](Tape* t) {
+    const double g = t->grad(self).scalar();
+    const Matrix& av = t->value(ai);
+    t->AccumulateGrad(ai, Matrix::Constant(av.rows(), av.cols(), g));
+  });
+}
+
+Var MeanAll(Var a) {
+  Tape* t = a.tape();
+  SBRL_CHECK(a.valid());
+  SBRL_CHECK_GT(a.value().size(), 0);
+  Matrix out(1, 1);
+  out(0, 0) = a.value().Mean();
+  const int ai = a.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a}, [ai, self](Tape* t) {
+    const Matrix& av = t->value(ai);
+    const double g =
+        t->grad(self).scalar() / static_cast<double>(av.size());
+    t->AccumulateGrad(ai, Matrix::Constant(av.rows(), av.cols(), g));
+  });
+}
+
+Var RowSum(Var a) {
+  Tape* t = a.tape();
+  SBRL_CHECK(a.valid());
+  const int ai = a.id(), self = t->size();
+  return t->MakeNode(sbrl::RowSum(a.value()), {a}, [ai, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& av = t->value(ai);
+    Matrix da(av.rows(), av.cols());
+    for (int64_t r = 0; r < av.rows(); ++r) {
+      for (int64_t c = 0; c < av.cols(); ++c) da(r, c) = g(r, 0);
+    }
+    t->AccumulateGrad(ai, da);
+  });
+}
+
+Var ColSum(Var a) {
+  Tape* t = a.tape();
+  SBRL_CHECK(a.valid());
+  const int ai = a.id(), self = t->size();
+  return t->MakeNode(sbrl::ColSum(a.value()), {a}, [ai, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& av = t->value(ai);
+    Matrix da(av.rows(), av.cols());
+    for (int64_t r = 0; r < av.rows(); ++r) {
+      for (int64_t c = 0; c < av.cols(); ++c) da(r, c) = g(0, c);
+    }
+    t->AccumulateGrad(ai, da);
+  });
+}
+
+Var RowMean(Var a) {
+  SBRL_CHECK_GT(a.cols(), 0);
+  return Scale(RowSum(a), 1.0 / static_cast<double>(a.cols()));
+}
+
+Var ColMean(Var a) {
+  SBRL_CHECK_GT(a.rows(), 0);
+  return Scale(ColSum(a), 1.0 / static_cast<double>(a.rows()));
+}
+
+Var Matmul(Var a, Var b) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK_EQ(a.cols(), b.rows());
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(sbrl::Matmul(a.value(), b.value()), {a, b},
+                     [ai, bi, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    t->AccumulateGrad(ai, MatmulTransB(g, t->value(bi)));
+    t->AccumulateGrad(bi, MatmulTransA(t->value(ai), g));
+  });
+}
+
+Var SigmoidCrossEntropyWithLogits(Var logits, const Matrix& labels) {
+  Tape* t = logits.tape();
+  SBRL_CHECK(logits.valid());
+  SBRL_CHECK(logits.value().same_shape(labels));
+  const Matrix& x = logits.value();
+  Matrix out(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    out[i] = std::max(x[i], 0.0) - x[i] * labels[i] +
+             std::log1p(std::exp(-std::abs(x[i])));
+  }
+  const int ai = logits.id(), self = t->size();
+  return t->MakeNode(std::move(out), {logits}, [ai, self, labels](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& x = t->value(ai);
+    Matrix da(x.rows(), x.cols());
+    for (int64_t i = 0; i < x.size(); ++i) {
+      da[i] = g[i] * (StableSigmoid(x[i]) - labels[i]);
+    }
+    t->AccumulateGrad(ai, da);
+  });
+}
+
+Var PairwiseSqDist(Var a, Var b) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK_EQ(a.cols(), b.cols());
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(PairwiseSquaredDistances(a.value(), b.value()), {a, b},
+                     [ai, bi, self](Tape* t) {
+    const Matrix& g = t->grad(self);  // (n x m)
+    const Matrix& av = t->value(ai);  // (n x d)
+    const Matrix& bv = t->value(bi);  // (m x d)
+    // dD_ij/da_i = 2 (a_i - b_j)  =>  da = 2 diag(rowsum g) a - 2 g b
+    Matrix grow = sbrl::RowSum(g);                     // (n x 1)
+    Matrix da = MulColBroadcast(av, grow) * 2.0;       // 2 a_i sum_j g_ij
+    da -= sbrl::Matmul(g, bv) * 2.0;
+    // dD_ij/db_j = 2 (b_j - a_i)  =>  db = 2 diag(colsum g) b - 2 g^T a
+    Matrix gcol = sbrl::Transpose(sbrl::ColSum(g));    // (m x 1)
+    Matrix db = MulColBroadcast(bv, gcol) * 2.0;
+    db -= MatmulTransA(g, av) * 2.0;
+    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(bi, db);
+  });
+}
+
+Var NormalizeRows(Var a, double eps) {
+  Var sq_norm = RowSum(Square(a));            // (n x 1)
+  Var inv = Reciprocal(Sqrt(AddConst(sq_norm, eps)));
+  return MulCol(a, inv);
+}
+
+Var WeightedMean(Var values, Var w) {
+  SBRL_CHECK_EQ(values.cols(), 1);
+  SBRL_CHECK_EQ(w.cols(), 1);
+  SBRL_CHECK_EQ(values.rows(), w.rows());
+  Var numer = SumAll(Mul(values, w));
+  Var denom = SumAll(w);
+  return DivScalar(numer, denom);
+}
+
+}  // namespace ops
+}  // namespace sbrl

@@ -1,0 +1,138 @@
+#ifndef SBRL_AUTODIFF_OPS_H_
+#define SBRL_AUTODIFF_OPS_H_
+
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "tensor/matrix.h"
+
+namespace sbrl {
+/// Differentiable matrix operations recorded on a Tape. Every function
+/// returns a new Var whose backward rule is registered with the tape.
+/// Shape contracts are CHECKed eagerly so model bugs fail at the op that
+/// introduced them, not deep inside Backward.
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// Binary elementwise (shapes must match exactly).
+// ---------------------------------------------------------------------------
+Var Add(Var a, Var b);
+Var Sub(Var a, Var b);
+Var Mul(Var a, Var b);
+/// Elementwise a / b. The caller guarantees b is bounded away from zero.
+Var Div(Var a, Var b);
+
+// ---------------------------------------------------------------------------
+// Broadcast arithmetic.
+// ---------------------------------------------------------------------------
+/// (n x d) + (1 x d): adds `row` to every row (bias add).
+Var AddRow(Var a, Var row);
+/// (n x d) + (n x 1): adds `col` to every column.
+Var AddCol(Var a, Var col);
+/// (n x d) * (1 x d): scales every row elementwise by `row`.
+Var MulRow(Var a, Var row);
+/// (n x d) * (n x 1): scales row i of `a` by col(i) (sample weighting).
+Var MulCol(Var a, Var col);
+/// a * s where s is a differentiable (1 x 1) scalar node.
+Var MulScalar(Var a, Var s);
+/// a / s where s is a differentiable (1 x 1) scalar node.
+Var DivScalar(Var a, Var s);
+
+// ---------------------------------------------------------------------------
+// Constant-scalar arithmetic (the constant is not differentiated).
+// ---------------------------------------------------------------------------
+Var AddConst(Var a, double c);
+Var Scale(Var a, double c);
+
+// ---------------------------------------------------------------------------
+// Unary elementwise.
+// ---------------------------------------------------------------------------
+Var Neg(Var a);
+Var Exp(Var a);
+/// Natural log; inputs must be strictly positive.
+Var Log(Var a);
+/// Square root; inputs must be non-negative (use AddConst for eps guards).
+Var Sqrt(Var a);
+Var Square(Var a);
+/// 1 / a elementwise.
+Var Reciprocal(Var a);
+Var Abs(Var a);
+Var Sigmoid(Var a);
+Var Tanh(Var a);
+/// Numerically stable log(1 + exp(a)).
+Var Softplus(Var a);
+/// Exponential linear unit with alpha = 1 (the paper's activation).
+Var Elu(Var a);
+Var Relu(Var a);
+Var Cos(Var a);
+
+// ---------------------------------------------------------------------------
+// Shape manipulation.
+// ---------------------------------------------------------------------------
+Var Transpose(Var a);
+/// out.row(i) = a.row(idx[i]). Backward scatter-adds into `a`.
+Var GatherRows(Var a, const std::vector<int64_t>& idx);
+/// Horizontal concat [a | b].
+Var ConcatCols(Var a, Var b);
+/// out.row(i) = (t[i] == 1 ? a.row(i) : b.row(i)). Used to assemble the
+/// factual head activations Z_p from the two potential-outcome heads.
+Var SelectRowsByTreatment(Var a, Var b, const std::vector<int>& t);
+/// Copy of columns [start, start + count) of `a`.
+Var SliceCols(Var a, int64_t start, int64_t count);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+/// Sum of all elements -> (1 x 1).
+Var SumAll(Var a);
+/// Mean of all elements -> (1 x 1).
+Var MeanAll(Var a);
+/// (n x d) -> (n x 1) row sums.
+Var RowSum(Var a);
+/// (n x d) -> (1 x d) column sums.
+Var ColSum(Var a);
+/// (n x d) -> (n x 1) row means.
+Var RowMean(Var a);
+/// (n x d) -> (1 x d) column means.
+Var ColMean(Var a);
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+/// Matrix product (n x k) * (k x m).
+Var Matmul(Var a, Var b);
+
+// ---------------------------------------------------------------------------
+// Fused numerical kernels.
+// ---------------------------------------------------------------------------
+/// Elementwise numerically-stable sigmoid cross-entropy between `logits`
+/// and constant `labels` in [0, 1]: max(x,0) - x*y + log(1 + exp(-|x|)).
+Var SigmoidCrossEntropyWithLogits(Var logits, const Matrix& labels);
+
+/// Pairwise squared Euclidean distances between rows of a (n x d) and
+/// rows of b (m x d) -> (n x m). Used by RBF-kernel MMD.
+Var PairwiseSqDist(Var a, Var b);
+
+// ---------------------------------------------------------------------------
+// Composite helpers (built from primitives; gradients flow through).
+// ---------------------------------------------------------------------------
+/// Rows scaled to unit L2 norm: phi_i / sqrt(|phi_i|^2 + eps). CFR's
+/// `rep_normalization` option.
+Var NormalizeRows(Var a, double eps = 1e-9);
+
+/// Mean of `values` (n x 1) under normalized weights `w` (n x 1):
+/// sum(w_i v_i) / sum(w_i).
+Var WeightedMean(Var values, Var w);
+
+}  // namespace ops
+
+/// Convenience operators for elementwise arithmetic on same-shaped Vars.
+inline Var operator+(Var a, Var b) { return ops::Add(a, b); }
+inline Var operator-(Var a, Var b) { return ops::Sub(a, b); }
+inline Var operator*(Var a, Var b) { return ops::Mul(a, b); }
+inline Var operator*(Var a, double c) { return ops::Scale(a, c); }
+inline Var operator*(double c, Var a) { return ops::Scale(a, c); }
+
+}  // namespace sbrl
+
+#endif  // SBRL_AUTODIFF_OPS_H_

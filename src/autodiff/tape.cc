@@ -1,0 +1,76 @@
+#include "autodiff/tape.h"
+
+namespace sbrl {
+
+const Matrix& Var::value() const {
+  SBRL_CHECK(valid());
+  return tape_->value(id_);
+}
+
+const Matrix& Var::grad() const {
+  SBRL_CHECK(valid());
+  return tape_->grad(id_);
+}
+
+Var Tape::Constant(Matrix value) {
+  Node node;
+  node.value = std::move(value);
+  node.requires_grad = false;
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Var Tape::Leaf(Matrix value) {
+  Node node;
+  node.value = std::move(value);
+  node.requires_grad = true;
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Var Tape::MakeNode(Matrix value, const std::vector<Var>& parents,
+                   BackwardFn backward) {
+  bool any_grad = false;
+  for (const Var& p : parents) {
+    SBRL_CHECK(p.tape() == this) << "op mixes nodes from different tapes";
+    if (requires_grad(p.id())) any_grad = true;
+  }
+  Node node;
+  node.value = std::move(value);
+  node.requires_grad = any_grad;
+  if (any_grad) node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+void Tape::AccumulateGrad(int id, const Matrix& delta) {
+  SBRL_DCHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  Node& node = nodes_[static_cast<size_t>(id)];
+  if (!node.requires_grad) return;
+  SBRL_CHECK(delta.rows() == node.value.rows() &&
+             delta.cols() == node.value.cols())
+      << "gradient shape " << delta.ShapeString() << " vs value "
+      << node.value.ShapeString();
+  if (node.grad.empty()) {
+    node.grad = delta;
+  } else {
+    node.grad += delta;
+  }
+}
+
+void Tape::Backward(const Var& loss) {
+  SBRL_CHECK(loss.tape() == this);
+  SBRL_CHECK(!backward_done_) << "Backward may run once per tape";
+  backward_done_ = true;
+  SBRL_CHECK(loss.value().is_scalar())
+      << "Backward requires a scalar loss, got "
+      << loss.value().ShapeString();
+  AccumulateGrad(loss.id(), Matrix::Ones(1, 1));
+  for (int id = loss.id(); id >= 0; --id) {
+    Node& node = nodes_[static_cast<size_t>(id)];
+    if (!node.requires_grad || node.grad.empty() || !node.backward) continue;
+    node.backward(this);
+  }
+}
+
+}  // namespace sbrl

@@ -1,0 +1,64 @@
+#ifndef SBRL_COMMON_CHECK_H_
+#define SBRL_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sbrl {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the SBRL_CHECK* macros below; invariant violations are
+/// programming errors, not recoverable conditions, so we fail fast.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Gives the streamed CheckFailure expression type void so it can sit in
+/// the false arm of the ternary inside SBRL_CHECK. operator& binds looser
+/// than operator<<, so all streamed context reaches the failure first.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal
+}  // namespace sbrl
+
+/// Aborts with a diagnostic when `cond` is false. Extra context may be
+/// streamed: SBRL_CHECK(n > 0) << "n=" << n;
+#define SBRL_CHECK(cond)      \
+  (cond) ? (void)0            \
+         : ::sbrl::internal::Voidify() & \
+               ::sbrl::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define SBRL_CHECK_EQ(a, b) SBRL_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define SBRL_CHECK_NE(a, b) SBRL_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define SBRL_CHECK_LT(a, b) SBRL_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define SBRL_CHECK_LE(a, b) SBRL_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define SBRL_CHECK_GT(a, b) SBRL_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define SBRL_CHECK_GE(a, b) SBRL_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+#ifndef NDEBUG
+#define SBRL_DCHECK(cond) SBRL_CHECK(cond)
+#else
+#define SBRL_DCHECK(cond) SBRL_CHECK(true || (cond))
+#endif
+
+#endif  // SBRL_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef SBRL_COMMON_LOGGING_H_
+#define SBRL_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sbrl {
+
+/// Severity levels for the lightweight logger. kFatal aborts after
+/// emitting the message.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement. Buffers the message and flushes it with a severity
+/// tag on destruction so a statement is emitted atomically.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SBRL_LOG(level)                                          \
+  ::sbrl::internal::LogMessage(::sbrl::LogLevel::k##level,       \
+                               __FILE__, __LINE__)
+
+}  // namespace sbrl
+
+#endif  // SBRL_COMMON_LOGGING_H_

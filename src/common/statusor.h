@@ -1,0 +1,71 @@
+#ifndef SBRL_COMMON_STATUSOR_H_
+#define SBRL_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace sbrl {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. The accessor `value()` CHECK-fails when called on an
+/// error state; call sites must test `ok()` first (or use ValueOrDie in
+/// tests, where aborting is the desired behaviour).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK state).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error Status. CHECK-fails if `status`
+  /// is OK, because an OK StatusOr must carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {
+    SBRL_CHECK(!status_.ok()) << "OK status requires a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; CHECK-fails on error state.
+  const T& value() const& {
+    SBRL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SBRL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SBRL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr<T>), propagating its error Status out of
+/// the current function; on success assigns the value into `lhs`.
+#define SBRL_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  SBRL_ASSIGN_OR_RETURN_IMPL_(                         \
+      SBRL_STATUS_MACRO_CONCAT_(_statusor, __LINE__), lhs, rexpr)
+
+#define SBRL_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) return statusor.status();           \
+  lhs = std::move(statusor).value()
+
+#define SBRL_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define SBRL_STATUS_MACRO_CONCAT_(x, y) SBRL_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+}  // namespace sbrl
+
+#endif  // SBRL_COMMON_STATUSOR_H_

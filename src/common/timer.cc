@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Timer is header-only; this translation unit exists so the build graph
+// has a stable home for future timing utilities (e.g. scoped profilers).

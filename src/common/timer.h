@@ -1,0 +1,33 @@
+#ifndef SBRL_COMMON_TIMER_H_
+#define SBRL_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sbrl {
+
+/// Monotonic wall-clock stopwatch used by the training-time benchmarks
+/// (paper Table VI) and the trainer's progress reporting.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_COMMON_TIMER_H_

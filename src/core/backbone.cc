@@ -1,0 +1,80 @@
+#include "core/backbone.h"
+
+#include "core/cfr.h"
+#include "core/dercfr.h"
+#include "core/tarnet.h"
+
+namespace sbrl {
+
+namespace {
+
+MlpConfig HeadBodyConfig(int64_t in_dim, const NetworkConfig& config) {
+  MlpConfig body;
+  body.input_dim = in_dim;
+  body.hidden.assign(static_cast<size_t>(config.head_layers),
+                     config.head_width);
+  body.activation = config.activation;
+  body.batchnorm = config.batchnorm;
+  return body;
+}
+
+}  // namespace
+
+OutcomeHeads::OutcomeHeads(const std::string& name, int64_t in_dim,
+                           const NetworkConfig& config, Rng& rng)
+    : body0_(name + ".h0", HeadBodyConfig(in_dim, config), rng),
+      body1_(name + ".h1", HeadBodyConfig(in_dim, config), rng),
+      out0_(name + ".h0.out", config.head_width, 1, rng),
+      out1_(name + ".h1.out", config.head_width, 1, rng) {}
+
+OutcomeHeads::Result OutcomeHeads::Forward(ParamBinder& binder, Var rep,
+                                           const std::vector<int>& t,
+                                           bool training) const {
+  // Intentional const_cast-free design: Mlp::ForwardCollect is const.
+  std::vector<Var> h0 = body0_.ForwardCollect(binder, rep, training);
+  std::vector<Var> h1 = body1_.ForwardCollect(binder, rep, training);
+  Result result;
+  result.y0 = out0_.Forward(binder, h0.back());
+  result.y1 = out1_.Forward(binder, h1.back());
+  result.z_p = ops::SelectRowsByTreatment(h1.back(), h0.back(), t);
+  for (size_t i = 0; i + 1 < h0.size(); ++i) {
+    result.hidden.push_back(ops::SelectRowsByTreatment(h1[i], h0[i], t));
+  }
+  return result;
+}
+
+void OutcomeHeads::CollectParams(std::vector<Param*>* out) {
+  body0_.CollectParams(out);
+  body1_.CollectParams(out);
+  out0_.CollectParams(out);
+  out1_.CollectParams(out);
+}
+
+std::vector<Param*> OutcomeHeads::DecayParams() {
+  // Weight matrices only (Google-style: biases are not decayed, and the
+  // CFR reference code applies R_l2 to head weights).
+  std::vector<Param*> all;
+  CollectParams(&all);
+  std::vector<Param*> weights;
+  for (Param* p : all) {
+    if (p->value.rows() > 1) weights.push_back(p);  // (in x out) matrices
+  }
+  return weights;
+}
+
+std::unique_ptr<Backbone> CreateBackbone(const EstimatorConfig& config,
+                                         int64_t input_dim, Rng& rng) {
+  switch (config.backbone) {
+    case BackboneKind::kTarnet:
+      return std::make_unique<TarnetBackbone>(config, input_dim, rng,
+                                              /*alpha_ipm=*/0.0);
+    case BackboneKind::kCfr:
+      return std::make_unique<CfrBackbone>(config, input_dim, rng);
+    case BackboneKind::kDerCfr:
+      return std::make_unique<DerCfrBackbone>(config, input_dim, rng);
+  }
+  SBRL_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace sbrl

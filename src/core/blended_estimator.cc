@@ -1,0 +1,56 @@
+#include "core/blended_estimator.h"
+
+namespace sbrl {
+
+StatusOr<BlendedHteEstimator> BlendedHteEstimator::Create(
+    const EstimatorConfig& config,
+    const OodLevelDetector::Options& detector_options) {
+  if (config.framework == FrameworkKind::kVanilla) {
+    return Status::InvalidArgument(
+        "blended estimation needs a stable framework (SBRL or SBRL-HAP) "
+        "as the second member");
+  }
+  EstimatorConfig vanilla_config = config;
+  vanilla_config.framework = FrameworkKind::kVanilla;
+  SBRL_ASSIGN_OR_RETURN(HteEstimator vanilla,
+                        HteEstimator::Create(vanilla_config));
+  SBRL_ASSIGN_OR_RETURN(HteEstimator stable, HteEstimator::Create(config));
+  return BlendedHteEstimator(std::move(vanilla), std::move(stable),
+                             detector_options);
+}
+
+Status BlendedHteEstimator::Fit(const CausalDataset& train,
+                                const CausalDataset* valid) {
+  SBRL_RETURN_IF_ERROR(vanilla_.Fit(train, valid));
+  SBRL_RETURN_IF_ERROR(stable_.Fit(train, valid));
+  SBRL_ASSIGN_OR_RETURN(OodLevelDetector detector,
+                        OodLevelDetector::Fit(train.x, detector_options_));
+  detector_ = std::move(detector);
+  return Status::OK();
+}
+
+double BlendedHteEstimator::OodLevel(const Matrix& x) const {
+  SBRL_CHECK(detector_.has_value()) << "call Fit before OodLevel";
+  return detector_->LevelOf(x);
+}
+
+std::vector<double> BlendedHteEstimator::PredictIte(const Matrix& x) const {
+  const double lambda = OodLevel(x);
+  const std::vector<double> ite_vanilla = vanilla_.PredictIte(x);
+  const std::vector<double> ite_stable = stable_.PredictIte(x);
+  std::vector<double> blended(ite_vanilla.size());
+  for (size_t i = 0; i < blended.size(); ++i) {
+    blended[i] = (1.0 - lambda) * ite_vanilla[i] + lambda * ite_stable[i];
+  }
+  return blended;
+}
+
+double BlendedHteEstimator::PredictAte(const Matrix& x) const {
+  const std::vector<double> ite = PredictIte(x);
+  SBRL_CHECK(!ite.empty());
+  double acc = 0.0;
+  for (double v : ite) acc += v;
+  return acc / static_cast<double>(ite.size());
+}
+
+}  // namespace sbrl

@@ -1,0 +1,63 @@
+#ifndef SBRL_CORE_BLENDED_ESTIMATOR_H_
+#define SBRL_CORE_BLENDED_ESTIMATOR_H_
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/ood_detector.h"
+
+namespace sbrl {
+
+/// The interpolation scheme sketched in the paper's conclusion: vanilla
+/// backbones exploit unstable features and win in-distribution, while
+/// SBRL-HAP discards them and wins out-of-distribution. This estimator
+/// trains BOTH on the same data, measures each target population's OOD
+/// level lambda with an OodLevelDetector, and predicts
+///   ITE_hat = (1 - lambda) * ITE_vanilla + lambda * ITE_stable,
+/// recovering the vanilla model's ID accuracy at lambda ~ 0 and the
+/// stable model's OOD robustness at lambda ~ 1.
+class BlendedHteEstimator {
+ public:
+  /// Builds the pair of estimators from `config` (its framework field
+  /// selects the *stable* member; the vanilla member is the same
+  /// backbone with FrameworkKind::kVanilla).
+  static StatusOr<BlendedHteEstimator> Create(
+      const EstimatorConfig& config,
+      const OodLevelDetector::Options& detector_options);
+  /// Same with default detector options.
+  static StatusOr<BlendedHteEstimator> Create(const EstimatorConfig& config) {
+    return Create(config, OodLevelDetector::Options());
+  }
+
+  /// Fits both members and calibrates the OOD detector on the training
+  /// covariates.
+  Status Fit(const CausalDataset& train,
+             const CausalDataset* valid = nullptr);
+
+  /// Population-level OOD degree of `x` in [0, 1].
+  double OodLevel(const Matrix& x) const;
+
+  /// Blended ITE predictions for the rows of `x`.
+  std::vector<double> PredictIte(const Matrix& x) const;
+
+  /// Blended ATE over the rows of `x`.
+  double PredictAte(const Matrix& x) const;
+
+  const HteEstimator& vanilla() const { return vanilla_; }
+  const HteEstimator& stable() const { return stable_; }
+
+ private:
+  BlendedHteEstimator(HteEstimator vanilla, HteEstimator stable,
+                      OodLevelDetector::Options options)
+      : vanilla_(std::move(vanilla)), stable_(std::move(stable)),
+        detector_options_(options) {}
+
+  HteEstimator vanilla_;
+  HteEstimator stable_;
+  OodLevelDetector::Options detector_options_;
+  std::optional<OodLevelDetector> detector_;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_BLENDED_ESTIMATOR_H_

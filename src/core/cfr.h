@@ -1,0 +1,22 @@
+#ifndef SBRL_CORE_CFR_H_
+#define SBRL_CORE_CFR_H_
+
+#include "core/tarnet.h"
+
+namespace sbrl {
+
+/// CFR (CounterFactual Regression; Shalit et al., 2017 / Johansson et
+/// al., 2016): TARNet plus an IPM penalty dist(Phi_t, Phi_c) weighted
+/// by alpha that balances the representation across treatment arms.
+/// Under SBRL the same IPM expression is evaluated on the *weighted*
+/// arm distributions (paper Eq. 4), which this backbone receives
+/// through the `w` node of Forward.
+class CfrBackbone : public TarnetBackbone {
+ public:
+  CfrBackbone(const EstimatorConfig& config, int64_t input_dim, Rng& rng)
+      : TarnetBackbone(config, input_dim, rng, config.cfr.alpha_ipm) {}
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_CFR_H_

@@ -1,0 +1,137 @@
+#ifndef SBRL_CORE_CONFIG_H_
+#define SBRL_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "nn/mlp.h"
+
+namespace sbrl {
+
+/// Which backbone network estimates the potential outcomes. These are
+/// the three baselines the paper plugs SBRL / SBRL-HAP into (Sec. V-A).
+enum class BackboneKind {
+  kTarnet,  ///< shared representation + two heads, no balancing
+  kCfr,     ///< TARNet + IPM representation balancing
+  kDerCfr,  ///< decomposed I/C/A representations (Wu et al., TKDE'22)
+};
+
+/// Which stable-learning framework wraps the backbone.
+enum class FrameworkKind {
+  kVanilla,  ///< the plain backbone
+  kSbrl,     ///< + Balancing & Independence Regularizers (last layer only)
+  kSbrlHap,  ///< + Hierarchical-Attention Paradigm (all layers)
+};
+
+/// Integral probability metric used for representation balancing.
+enum class IpmKind { kLinearMmd, kRbfMmd };
+
+const char* BackboneName(BackboneKind kind);
+const char* FrameworkName(FrameworkKind kind);
+
+/// Returns e.g. "CFR+SBRL-HAP" — the method names used in the paper's
+/// tables.
+std::string MethodName(BackboneKind backbone, FrameworkKind framework);
+
+/// Architecture of the representation network and outcome heads
+/// (paper Table IV notation: {d_r, d_y} depths, {h_r, h_y} widths).
+struct NetworkConfig {
+  int64_t rep_layers = 3;
+  int64_t rep_width = 64;
+  int64_t head_layers = 3;
+  int64_t head_width = 32;
+  bool batchnorm = false;
+  /// Scale representation rows to unit L2 norm (CFR's rep normalization).
+  bool rep_normalization = false;
+  Activation activation = Activation::kElu;
+};
+
+/// CFR-specific knobs.
+struct CfrConfig {
+  /// Weight of the IPM balancing term (paper's alpha).
+  double alpha_ipm = 1.0;
+  IpmKind ipm = IpmKind::kLinearMmd;
+  double rbf_bandwidth = 1.0;
+};
+
+/// DeR-CFR-specific loss weights, mirroring the roles of the paper's
+/// Table V hyper-parameters {alpha, beta, gamma, mu, lambda}.
+struct DerCfrConfig {
+  /// alpha: confounder balancing between arms with learned per-arm
+  /// weights omega(C).
+  double confounder_balance = 1.0;
+  /// beta: instrument-outcome independence I _||_ Y | T.
+  double instrument_indep = 0.1;
+  /// gamma: first-layer feature-importance orthogonality among I/C/A.
+  double orthogonality = 1.0;
+  /// mu: adjustment balance IPM(A_t, A_c).
+  double adjustment_balance = 1.0;
+  /// Treatment-prediction loss weight for the t-head on [I, C].
+  double treatment_loss = 0.5;
+  IpmKind ipm = IpmKind::kLinearMmd;
+  double rbf_bandwidth = 1.0;
+};
+
+/// SBRL / SBRL-HAP framework knobs (paper Eq. 11).
+struct SbrlConfig {
+  /// alpha: weight of the Balancing Regularizer term L_B in L_w.
+  /// Forced to 0 for TARNet backbones (paper Table IV footnote).
+  double alpha_br = 1.0;
+  /// gamma1: decorrelation of the last hidden layer Z_p (the classic
+  /// stable-learning target).
+  double gamma1 = 1.0;
+  /// gamma2: decorrelation of the balanced representation Z_r
+  /// (HAP only).
+  double gamma2 = 1e-3;
+  /// gamma3: decorrelation of every other hidden layer Z_o (HAP only).
+  double gamma3 = 1e-3;
+  /// n_A = n_B: random Fourier features per scalar variable (paper
+  /// default 5).
+  int64_t rff_features = 5;
+  /// Random feature-pair subsample per decorrelation loss evaluation;
+  /// 0 measures every pair (StableNet-style stochastic decorrelation).
+  int64_t hsic_pair_budget = 48;
+  /// Learning rate of the sample-weight learner.
+  double lr_w = 5e-2;
+  /// Run the weight step every k-th network step.
+  int64_t weight_update_every = 1;
+  /// Lower clamp keeping weights non-negative after each update.
+  double weight_floor = 1e-3;
+};
+
+/// Optimization loop settings (paper Sec. V-C: Adam, exponential decay,
+/// early stopping, max 3000 iterations; full-batch).
+struct TrainConfig {
+  int64_t iterations = 600;
+  double lr = 1e-3;
+  double lr_decay_rate = 0.97;
+  int64_t lr_decay_steps = 100;
+  /// L2 penalty on outcome-head weights (paper's R_l2 / lambda).
+  double l2 = 1e-4;
+  /// Validation cadence for early stopping; 0 disables.
+  int64_t eval_every = 25;
+  /// Number of consecutive non-improving evaluations tolerated.
+  int64_t patience = 10;
+  uint64_t seed = 1234;
+  bool verbose = false;
+};
+
+/// Complete configuration of an HteEstimator.
+struct EstimatorConfig {
+  BackboneKind backbone = BackboneKind::kCfr;
+  FrameworkKind framework = FrameworkKind::kSbrlHap;
+  NetworkConfig network;
+  CfrConfig cfr;
+  DerCfrConfig dercfr;
+  SbrlConfig sbrl;
+  TrainConfig train;
+
+  /// Structural validation; returns InvalidArgument with a reason when
+  /// a setting is out of range.
+  Status Validate() const;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_CONFIG_H_

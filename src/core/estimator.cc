@@ -1,0 +1,128 @@
+#include "core/estimator.h"
+
+#include <cmath>
+
+#include "core/dercfr.h"
+#include "tensor/linalg.h"
+
+namespace sbrl {
+
+StatusOr<HteEstimator> HteEstimator::Create(const EstimatorConfig& config) {
+  SBRL_RETURN_IF_ERROR(config.Validate());
+  return HteEstimator(config);
+}
+
+Status HteEstimator::Fit(const CausalDataset& train,
+                         const CausalDataset* valid) {
+  SBRL_RETURN_IF_ERROR(train.Validate());
+  if (valid != nullptr) {
+    SBRL_RETURN_IF_ERROR(valid->Validate());
+    if (valid->dim() != train.dim()) {
+      return Status::InvalidArgument(
+          "validation covariate dimension differs from training");
+    }
+    if (valid->binary_outcome != train.binary_outcome) {
+      return Status::InvalidArgument(
+          "validation outcome type differs from training");
+    }
+  }
+  binary_outcome_ = train.binary_outcome;
+
+  // Standardize continuous outcomes for stable head training; the
+  // statistics are inverted at prediction time.
+  CausalDataset train_std = train;
+  CausalDataset valid_std;
+  if (!binary_outcome_) {
+    y_mean_ = train.y.Mean();
+    y_std_ = StdDev(train.y);
+    if (y_std_ < 1e-12) {
+      return Status::FailedPrecondition(
+          "outcome has zero variance; nothing to learn");
+    }
+    for (int64_t i = 0; i < train_std.n(); ++i) {
+      train_std.y(i, 0) = (train_std.y(i, 0) - y_mean_) / y_std_;
+    }
+    if (valid != nullptr) {
+      valid_std = *valid;
+      for (int64_t i = 0; i < valid_std.n(); ++i) {
+        valid_std.y(i, 0) = (valid_std.y(i, 0) - y_mean_) / y_std_;
+      }
+      valid = &valid_std;
+    }
+  } else {
+    y_mean_ = 0.0;
+    y_std_ = 1.0;
+  }
+
+  Rng rng(config_.train.seed);
+  backbone_ = CreateBackbone(config_, train.dim(), rng);
+  if (auto* dercfr = dynamic_cast<DerCfrBackbone*>(backbone_.get())) {
+    dercfr->SetOutcomes(train_std.y);
+  }
+
+  diag_ = TrainDiagnostics();
+  SbrlTrainer trainer(config_, backbone_.get(), binary_outcome_);
+  SBRL_RETURN_IF_ERROR(trainer.Train(train_std, valid, &diag_, &weights_));
+  fitted_ = true;
+  return Status::OK();
+}
+
+BackboneForward HteEstimator::PredictForward(ParamBinder& binder,
+                                             const Matrix& x) const {
+  SBRL_CHECK(fitted_) << "call Fit before predicting";
+  SBRL_CHECK_EQ(x.cols(), backbone_->input_dim());
+  Tape* tape = binder.tape();
+  // Treatment assignment only affects factual-layer selection and
+  // training-time losses; predictions for both arms are always emitted.
+  std::vector<int> dummy_t(static_cast<size_t>(x.rows()), 0);
+  Var w_uniform = tape->Constant(Matrix::Ones(x.rows(), 1));
+  return backbone_->Forward(binder, x, dummy_t, w_uniform,
+                            /*training=*/false);
+}
+
+Matrix HteEstimator::PredictPotentialOutcomes(const Matrix& x) const {
+  Tape tape;
+  ParamBinder binder(&tape);
+  BackboneForward fwd = PredictForward(binder, x);
+  Matrix out(x.rows(), 2);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    double y0 = fwd.y0.value()(i, 0);
+    double y1 = fwd.y1.value()(i, 0);
+    if (binary_outcome_) {
+      y0 = 1.0 / (1.0 + std::exp(-y0));
+      y1 = 1.0 / (1.0 + std::exp(-y1));
+    } else {
+      y0 = y0 * y_std_ + y_mean_;
+      y1 = y1 * y_std_ + y_mean_;
+    }
+    out(i, 0) = y0;
+    out(i, 1) = y1;
+  }
+  return out;
+}
+
+std::vector<double> HteEstimator::PredictIte(const Matrix& x) const {
+  Matrix outcomes = PredictPotentialOutcomes(x);
+  std::vector<double> ite(static_cast<size_t>(x.rows()));
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    ite[static_cast<size_t>(i)] = outcomes(i, 1) - outcomes(i, 0);
+  }
+  return ite;
+}
+
+double HteEstimator::PredictAte(const Matrix& x) const {
+  SBRL_CHECK_GT(x.rows(), 0);
+  const std::vector<double> ite = PredictIte(x);
+  double acc = 0.0;
+  for (double v : ite) acc += v;
+  return acc / static_cast<double>(ite.size());
+}
+
+Matrix HteEstimator::RepresentationOf(const Matrix& x) const {
+  Tape tape;
+  ParamBinder binder(&tape);
+  BackboneForward fwd = PredictForward(binder, x);
+  return fwd.rep.value();
+}
+
+}  // namespace sbrl

@@ -1,0 +1,79 @@
+#ifndef SBRL_CORE_ESTIMATOR_H_
+#define SBRL_CORE_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/backbone.h"
+#include "core/trainer.h"
+#include "data/causal_dataset.h"
+
+namespace sbrl {
+
+/// The library's public entry point: a heterogeneous-treatment-effect
+/// estimator combining a backbone (TARNet / CFR / DeR-CFR) with a
+/// stable-learning framework (vanilla / SBRL / SBRL-HAP).
+///
+/// Usage:
+///   EstimatorConfig config;
+///   config.backbone = BackboneKind::kCfr;
+///   config.framework = FrameworkKind::kSbrlHap;
+///   auto estimator = HteEstimator::Create(config);
+///   if (!estimator.ok()) { ... }
+///   estimator->Fit(train, &valid);
+///   std::vector<double> ite = estimator->PredictIte(test.x);
+///   double ate = estimator->PredictAte(test.x);
+class HteEstimator {
+ public:
+  /// Validates `config` and constructs an unfitted estimator.
+  static StatusOr<HteEstimator> Create(const EstimatorConfig& config);
+
+  /// Trains on `train` with optional validation-based early stopping.
+  /// Binary vs continuous outcome handling follows
+  /// `train.binary_outcome`; continuous outcomes are standardized
+  /// internally and de-standardized at prediction time.
+  Status Fit(const CausalDataset& train,
+             const CausalDataset* valid = nullptr);
+
+  /// Predicted potential outcomes for each row of `x` -> (n x 2)
+  /// matrix, column 0 = y0_hat, column 1 = y1_hat. Binary outcomes are
+  /// returned as probabilities.
+  Matrix PredictPotentialOutcomes(const Matrix& x) const;
+
+  /// Predicted individual treatment effects y1_hat - y0_hat.
+  std::vector<double> PredictIte(const Matrix& x) const;
+
+  /// Predicted average treatment effect over the rows of `x`.
+  double PredictAte(const Matrix& x) const;
+
+  /// The balanced representation Z_r of `x` (for decorrelation
+  /// diagnostics; paper Fig. 5).
+  Matrix RepresentationOf(const Matrix& x) const;
+
+  /// Learned sample weights (uniform for vanilla frameworks).
+  const Matrix& sample_weights() const { return weights_; }
+
+  const TrainDiagnostics& diagnostics() const { return diag_; }
+  const EstimatorConfig& config() const { return config_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  explicit HteEstimator(const EstimatorConfig& config) : config_(config) {}
+
+  BackboneForward PredictForward(ParamBinder& binder,
+                                 const Matrix& x) const;
+
+  EstimatorConfig config_;
+  std::shared_ptr<Backbone> backbone_;  // shared: keeps estimator movable
+  Matrix weights_;
+  TrainDiagnostics diag_;
+  bool fitted_ = false;
+  bool binary_outcome_ = true;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_ESTIMATOR_H_

@@ -1,0 +1,76 @@
+#include "core/independence_regularizer.h"
+
+#include <utility>
+#include <vector>
+
+#include "stats/rff.h"
+
+namespace sbrl {
+
+namespace {
+
+/// Weighted cross-covariance Frobenius norm between constant RFF
+/// feature blocks `u`, `v` (n x k each) under normalized weights built
+/// from the differentiable node `w`.
+Var PairLoss(Tape* tape, const Matrix& u, const Matrix& v, Var w_norm) {
+  Var u_const = tape->Constant(u);
+  Var v_const = tape->Constant(v);
+  // E_w[u_i v_j] = (u .* w)_^T v with w normalized to sum 1.
+  Var uw = ops::MulCol(u_const, w_norm);
+  Var e_uv = ops::Matmul(ops::Transpose(uw), v_const);        // (k x k)
+  Var e_u = ops::Matmul(ops::Transpose(w_norm), u_const);     // (1 x k)
+  Var e_v = ops::Matmul(ops::Transpose(w_norm), v_const);     // (1 x k)
+  Var outer = ops::Matmul(ops::Transpose(e_u), e_v);          // (k x k)
+  return ops::SumAll(ops::Square(ops::Sub(e_uv, outer)));
+}
+
+}  // namespace
+
+Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
+                             int64_t pair_budget, Rng& rng) {
+  Tape* tape = w.tape();
+  SBRL_CHECK(w.valid());
+  SBRL_CHECK_EQ(w.cols(), 1);
+  SBRL_CHECK_EQ(w.rows(), z.rows());
+  SBRL_CHECK_GT(rff_features, 0);
+  const int64_t d = z.cols();
+  if (d < 2) return tape->Constant(Matrix::Zeros(1, 1));
+
+  // Normalized weights are shared by every pair term.
+  Var w_norm = ops::DivScalar(w, ops::SumAll(w));
+
+  // Random cosine features per column, drawn fresh for this evaluation.
+  std::vector<Matrix> features(static_cast<size_t>(d));
+  for (int64_t c = 0; c < d; ++c) {
+    RffProjection proj = SampleRff(rng, 1, rff_features);
+    features[static_cast<size_t>(c)] = ApplyRff(proj, z.Col(c));
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t a = 0; a < d; ++a) {
+    for (int64_t b = a + 1; b < d; ++b) pairs.emplace_back(a, b);
+  }
+  const int64_t total_pairs = static_cast<int64_t>(pairs.size());
+  int64_t used_pairs = total_pairs;
+  if (pair_budget > 0 && pair_budget < total_pairs) {
+    used_pairs = pair_budget;
+    std::vector<int64_t> chosen =
+        rng.SampleWithoutReplacement(total_pairs, used_pairs);
+    std::vector<std::pair<int64_t, int64_t>> subset;
+    subset.reserve(static_cast<size_t>(used_pairs));
+    for (int64_t idx : chosen) subset.push_back(pairs[static_cast<size_t>(idx)]);
+    pairs.swap(subset);
+  }
+
+  Var loss = tape->Constant(Matrix::Zeros(1, 1));
+  for (const auto& [a, b] : pairs) {
+    loss = ops::Add(loss, PairLoss(tape, features[static_cast<size_t>(a)],
+                                   features[static_cast<size_t>(b)], w_norm));
+  }
+  // Rescale a sampled subset to estimate the full pairwise sum.
+  const double rescale =
+      static_cast<double>(total_pairs) / static_cast<double>(used_pairs);
+  return ops::Scale(loss, rescale);
+}
+
+}  // namespace sbrl

@@ -1,0 +1,31 @@
+#ifndef SBRL_CORE_INDEPENDENCE_REGULARIZER_H_
+#define SBRL_CORE_INDEPENDENCE_REGULARIZER_H_
+
+#include <cstdint>
+
+#include "autodiff/ops.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+
+/// Differentiable decorrelation loss L_D(Z, w) of the Independence
+/// Regularizer (paper Eqs. 9-10): the sum over feature pairs (a, b) of
+/// the weighted HSIC-RFF statistic
+///   || Cov_w( u(Z_:,a), v(Z_:,b) ) ||_F^2,
+/// where u, v are `rff_features` random cosine features (fresh draws
+/// from `rng` on every call — the stochastic decorrelation estimator of
+/// StableNet) and Cov_w uses the normalized sample weights.
+///
+/// `z` is a detached activation matrix (the weight step of Algorithm 1
+/// holds the network fixed), while `w` (n x 1) is the differentiable
+/// sample-weight node on the tape.
+///
+/// `pair_budget > 0` measures only that many uniformly sampled pairs
+/// and rescales to the full-pair total, keeping the per-step cost
+/// bounded for wide layers; 0 measures every pair.
+Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
+                             int64_t pair_budget, Rng& rng);
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_INDEPENDENCE_REGULARIZER_H_

@@ -1,0 +1,23 @@
+#include "core/sample_weights.h"
+
+namespace sbrl {
+
+SampleWeights::SampleWeights(int64_t n, double floor)
+    : param_("sample_weights", Matrix::Ones(n, 1)), floor_(floor) {
+  SBRL_CHECK_GT(n, 0);
+  SBRL_CHECK_GE(floor, 0.0);
+}
+
+void SampleWeights::Project() {
+  for (int64_t i = 0; i < param_.value.size(); ++i) {
+    if (param_.value[i] < floor_) param_.value[i] = floor_;
+  }
+}
+
+Matrix SampleWeights::NormalizedToMeanOne() const {
+  const double mean = param_.value.Mean();
+  SBRL_CHECK_GT(mean, 0.0);
+  return param_.value * (1.0 / mean);
+}
+
+}  // namespace sbrl

@@ -1,0 +1,41 @@
+#ifndef SBRL_CORE_SAMPLE_WEIGHTS_H_
+#define SBRL_CORE_SAMPLE_WEIGHTS_H_
+
+#include <cstdint>
+
+#include "nn/parameter.h"
+
+namespace sbrl {
+
+/// The learnable sample weights w in R^n_+ of SBRL (paper Eq. 4/9/11).
+/// Initialized to 1 (uniform), updated by projected gradient steps: the
+/// optimizer moves the raw values, then Project() clamps them to the
+/// non-negative orthant (floor > 0 keeps every unit minimally present,
+/// complementing the paper's R_w anchor).
+class SampleWeights {
+ public:
+  SampleWeights(int64_t n, double floor);
+
+  /// The raw weight parameter (n x 1) for optimizer registration and
+  /// tape binding.
+  Param& param() { return param_; }
+  const Param& param() const { return param_; }
+
+  /// Clamps weights to [floor, inf). Call after every optimizer step.
+  void Project();
+
+  /// Weights rescaled to mean 1 — the form consumed by the weighted
+  /// prediction loss so the loss scale stays comparable to uniform.
+  Matrix NormalizedToMeanOne() const;
+
+  const Matrix& raw() const { return param_.value; }
+  int64_t n() const { return param_.value.rows(); }
+
+ private:
+  Param param_;
+  double floor_;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_SAMPLE_WEIGHTS_H_

@@ -1,0 +1,40 @@
+#ifndef SBRL_CORE_TARNET_H_
+#define SBRL_CORE_TARNET_H_
+
+#include <vector>
+
+#include "core/backbone.h"
+
+namespace sbrl {
+
+/// TARNet (Shalit et al., 2017): a shared representation network
+/// Phi(x) feeding two treatment-specific outcome heads. With
+/// `alpha_ipm > 0` the representation additionally minimizes the
+/// weighted IPM between arms, which is exactly CFR — CfrBackbone
+/// derives from this class by fixing alpha.
+class TarnetBackbone : public Backbone {
+ public:
+  TarnetBackbone(const EstimatorConfig& config, int64_t input_dim, Rng& rng,
+                 double alpha_ipm);
+
+  BackboneForward Forward(ParamBinder& binder, const Matrix& x,
+                          const std::vector<int>& t, Var w,
+                          bool training) override;
+
+  void CollectParams(std::vector<Param*>* out) override;
+  std::vector<Param*> DecayParams() override;
+  int64_t input_dim() const override { return input_dim_; }
+
+ private:
+  int64_t input_dim_;
+  NetworkConfig network_;
+  double alpha_ipm_;
+  IpmKind ipm_kind_;
+  double rbf_bandwidth_;
+  Mlp rep_net_;
+  OutcomeHeads heads_;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_TARNET_H_

@@ -1,0 +1,183 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/hap.h"
+#include "nn/lr_schedule.h"
+#include "nn/optimizer.h"
+
+namespace sbrl {
+
+namespace {
+
+/// Per-sample factual loss column (n x 1): sigmoid cross-entropy for
+/// binary outcomes, squared error for continuous ones.
+Var FactualLosses(Var y0, Var y1, const std::vector<int>& t,
+                  const Matrix& y, bool binary) {
+  Var pred = ops::SelectRowsByTreatment(y1, y0, t);
+  if (binary) {
+    return ops::SigmoidCrossEntropyWithLogits(pred, y);
+  }
+  Var target = pred.tape()->Constant(y);
+  return ops::Square(ops::Sub(pred, target));
+}
+
+}  // namespace
+
+SbrlTrainer::SbrlTrainer(const EstimatorConfig& config, Backbone* backbone,
+                         bool binary_outcome)
+    : config_(config), backbone_(backbone), binary_outcome_(binary_outcome) {
+  SBRL_CHECK(backbone != nullptr);
+  // Paper Table IV footnote: TARNet has no balancing term, so its SBRL
+  // variants drop L_B (alpha = 0).
+  effective_alpha_br_ =
+      config.backbone == BackboneKind::kTarnet ? 0.0 : config.sbrl.alpha_br;
+  if (config.backbone == BackboneKind::kDerCfr) {
+    br_ipm_ = config.dercfr.ipm;
+    br_rbf_bandwidth_ = config.dercfr.rbf_bandwidth;
+  } else {
+    br_ipm_ = config.cfr.ipm;
+    br_rbf_bandwidth_ = config.cfr.rbf_bandwidth;
+  }
+}
+
+double SbrlTrainer::EvalFactualLoss(const CausalDataset& data) {
+  Tape tape;
+  ParamBinder binder(&tape);
+  Var w_uniform = tape.Constant(Matrix::Ones(data.n(), 1));
+  BackboneForward fwd = backbone_->Forward(binder, data.x, data.t,
+                                           w_uniform, /*training=*/false);
+  Var losses = FactualLosses(fwd.y0, fwd.y1, data.t, data.y,
+                             binary_outcome_);
+  return ops::MeanAll(losses).value().scalar();
+}
+
+Status SbrlTrainer::Train(const CausalDataset& train,
+                          const CausalDataset* valid, TrainDiagnostics* diag,
+                          Matrix* out_weights) {
+  SBRL_CHECK(diag != nullptr && out_weights != nullptr);
+  Timer timer;
+  const int64_t n = train.n();
+  const bool learn_weights =
+      config_.framework != FrameworkKind::kVanilla;
+
+  SampleWeights weights(n, config_.sbrl.weight_floor);
+
+  std::vector<Param*> params;
+  backbone_->CollectParams(&params);
+  std::vector<Param*> decay_params = backbone_->DecayParams();
+  std::unordered_set<Param*> decay_set(decay_params.begin(),
+                                       decay_params.end());
+  std::vector<Param*> plain_params;
+  for (Param* p : params) {
+    if (decay_set.find(p) == decay_set.end()) plain_params.push_back(p);
+  }
+  AdamConfig decay_config;
+  decay_config.weight_decay = config_.train.l2;
+  AdamOptimizer opt_decay(decay_params, decay_config);
+  AdamOptimizer opt_plain(plain_params);
+  AdamOptimizer opt_w({&weights.param()});
+  ExponentialDecaySchedule schedule(config_.train.lr,
+                                    config_.train.lr_decay_rate,
+                                    config_.train.lr_decay_steps);
+
+  Rng hsic_rng(config_.train.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  double best_valid = std::numeric_limits<double>::infinity();
+  std::vector<Matrix> best_snapshot;
+  int64_t bad_evals = 0;
+  bool stopped_early = false;
+
+  for (int64_t iter = 0; iter < config_.train.iterations; ++iter) {
+    // ----- Step A (Algorithm 1 lines 4-5): network parameters. -----
+    double weight_loss_value = 0.0;
+    Matrix w_norm = weights.NormalizedToMeanOne();
+    Tape tape;
+    ParamBinder binder(&tape);
+    Var w_const = tape.Constant(w_norm);
+    BackboneForward fwd = backbone_->Forward(binder, train.x, train.t,
+                                             w_const, /*training=*/true);
+    Var losses = FactualLosses(fwd.y0, fwd.y1, train.t, train.y,
+                               binary_outcome_);
+    Var weighted = ops::MeanAll(ops::Mul(losses, w_const));
+    Var loss = ops::Add(weighted, fwd.aux_loss);
+    tape.Backward(loss);
+    binder.FlushGrads();
+    const double lr = schedule.LearningRate(iter);
+    opt_decay.Step(lr);
+    opt_plain.Step(lr);
+
+    // ----- Step B (Algorithm 1 lines 6-7): sample weights. -----
+    if (learn_weights && iter % config_.sbrl.weight_update_every == 0) {
+      WeightLossInputs inputs;
+      inputs.z_p = fwd.z_p.value();
+      inputs.z_r = fwd.rep.value();
+      inputs.z_o.reserve(fwd.z_other.size());
+      for (const Var& z : fwd.z_other) inputs.z_o.push_back(z.value());
+      inputs.t = train.t;
+
+      Tape w_tape;
+      ParamBinder w_binder(&w_tape);
+      Var w_var = w_binder.Bind(weights.param());
+      Var w_loss = BuildWeightLoss(w_var, inputs, config_.sbrl,
+                                   config_.framework, effective_alpha_br_,
+                                   br_ipm_, br_rbf_bandwidth_, hsic_rng);
+      weight_loss_value = w_loss.value().scalar();
+      w_tape.Backward(w_loss);
+      w_binder.FlushGrads();
+      opt_w.Step(config_.sbrl.lr_w);
+      weights.Project();
+    }
+
+    // ----- Early stopping / diagnostics. -----
+    const bool eval_now =
+        config_.train.eval_every > 0 &&
+        ((iter + 1) % config_.train.eval_every == 0 ||
+         iter + 1 == config_.train.iterations);
+    if (eval_now) {
+      diag->train_loss.push_back(loss.value().scalar());
+      diag->weight_loss.push_back(weight_loss_value);
+      if (valid != nullptr) {
+        const double v = EvalFactualLoss(*valid);
+        diag->valid_loss.push_back(v);
+        if (v < best_valid - 1e-9) {
+          best_valid = v;
+          diag->best_iteration = iter;
+          best_snapshot.clear();
+          best_snapshot.reserve(params.size());
+          for (Param* p : params) best_snapshot.push_back(p->value);
+          bad_evals = 0;
+        } else {
+          ++bad_evals;
+          if (config_.train.patience > 0 &&
+              bad_evals >= config_.train.patience) {
+            stopped_early = true;
+          }
+        }
+      }
+      if (config_.train.verbose) {
+        SBRL_LOG(Info) << "iter " << iter + 1 << " loss "
+                       << loss.value().scalar() << " L_w "
+                       << weight_loss_value;
+      }
+    }
+    if (stopped_early) break;
+  }
+
+  // Restore the best-validation parameters (paper: "report the
+  // best-evaluated iterate with early stopping").
+  if (!best_snapshot.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_snapshot[i];
+    }
+  }
+  *out_weights = weights.raw();
+  diag->train_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace sbrl

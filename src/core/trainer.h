@@ -1,0 +1,58 @@
+#ifndef SBRL_CORE_TRAINER_H_
+#define SBRL_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/backbone.h"
+#include "core/sample_weights.h"
+#include "data/causal_dataset.h"
+
+namespace sbrl {
+
+/// Observable record of one training run.
+struct TrainDiagnostics {
+  /// Weighted factual training loss at each evaluation point.
+  std::vector<double> train_loss;
+  /// Unweighted factual validation loss at each evaluation point
+  /// (empty when no validation set was supplied).
+  std::vector<double> valid_loss;
+  /// Sample-weight objective L_w at each evaluation point.
+  std::vector<double> weight_loss;
+  /// Iteration whose parameters were kept (early stopping).
+  int64_t best_iteration = -1;
+  /// Wall-clock seconds spent inside Train().
+  double train_seconds = 0.0;
+};
+
+/// Runs the paper's Algorithm 1: alternating full-batch optimization of
+/// the network parameters under the weighted factual loss L^w_Y
+/// (Eq. 13) and of the sample weights under L_w (Eq. 11), with
+/// exponential learning-rate decay and validation early stopping.
+class SbrlTrainer {
+ public:
+  /// `backbone` must outlive the trainer. `binary_outcome` selects
+  /// cross-entropy vs squared-error heads.
+  SbrlTrainer(const EstimatorConfig& config, Backbone* backbone,
+              bool binary_outcome);
+
+  /// Trains on `train`, early-stopping on `valid` (optional). On
+  /// success writes the learned sample weights (uniform for vanilla
+  /// frameworks) to `out_weights` and fills `diag`.
+  Status Train(const CausalDataset& train, const CausalDataset* valid,
+               TrainDiagnostics* diag, Matrix* out_weights);
+
+ private:
+  double EvalFactualLoss(const CausalDataset& data);
+
+  EstimatorConfig config_;
+  Backbone* backbone_;
+  bool binary_outcome_;
+  double effective_alpha_br_;
+  IpmKind br_ipm_;
+  double br_rbf_bandwidth_;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_TRAINER_H_

@@ -1,0 +1,90 @@
+#include "data/causal_dataset.h"
+
+#include "tensor/linalg.h"
+
+namespace sbrl {
+
+std::vector<int64_t> CausalDataset::TreatedIndices() const {
+  std::vector<int64_t> idx;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i] == 1) idx.push_back(static_cast<int64_t>(i));
+  }
+  return idx;
+}
+
+std::vector<int64_t> CausalDataset::ControlIndices() const {
+  std::vector<int64_t> idx;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i] == 0) idx.push_back(static_cast<int64_t>(i));
+  }
+  return idx;
+}
+
+std::vector<double> CausalDataset::TrueIte() const {
+  std::vector<double> ite(static_cast<size_t>(n()));
+  for (int64_t i = 0; i < n(); ++i) {
+    ite[static_cast<size_t>(i)] = mu1(i, 0) - mu0(i, 0);
+  }
+  return ite;
+}
+
+double CausalDataset::TrueAte() const {
+  SBRL_CHECK_GT(n(), 0);
+  double acc = 0.0;
+  for (int64_t i = 0; i < n(); ++i) acc += mu1(i, 0) - mu0(i, 0);
+  return acc / static_cast<double>(n());
+}
+
+std::vector<double> CausalDataset::CounterfactualOutcomes() const {
+  std::vector<double> cf(static_cast<size_t>(n()));
+  for (int64_t i = 0; i < n(); ++i) {
+    cf[static_cast<size_t>(i)] =
+        t[static_cast<size_t>(i)] == 1 ? mu0(i, 0) : mu1(i, 0);
+  }
+  return cf;
+}
+
+CausalDataset CausalDataset::Subset(const std::vector<int64_t>& rows) const {
+  CausalDataset out;
+  out.x = GatherRows(x, rows);
+  out.y = GatherRows(y, rows);
+  out.mu0 = GatherRows(mu0, rows);
+  out.mu1 = GatherRows(mu1, rows);
+  out.t.reserve(rows.size());
+  for (int64_t r : rows) {
+    SBRL_CHECK(r >= 0 && r < n());
+    out.t.push_back(t[static_cast<size_t>(r)]);
+  }
+  out.binary_outcome = binary_outcome;
+  return out;
+}
+
+Status CausalDataset::Validate() const {
+  if (n() == 0) return Status::InvalidArgument("dataset is empty");
+  if (static_cast<int64_t>(t.size()) != n()) {
+    return Status::InvalidArgument("treatment length mismatch");
+  }
+  if (y.rows() != n() || y.cols() != 1) {
+    return Status::InvalidArgument("outcome shape mismatch");
+  }
+  if (mu0.rows() != n() || mu0.cols() != 1 || mu1.rows() != n() ||
+      mu1.cols() != 1) {
+    return Status::InvalidArgument("potential outcome shape mismatch");
+  }
+  int64_t treated = 0;
+  for (int v : t) {
+    if (v != 0 && v != 1) {
+      return Status::InvalidArgument("treatment must be binary 0/1");
+    }
+    treated += v;
+  }
+  if (treated == 0) {
+    return Status::FailedPrecondition("no treated units (overlap violated)");
+  }
+  if (treated == n()) {
+    return Status::FailedPrecondition("no control units (overlap violated)");
+  }
+  return Status::OK();
+}
+
+}  // namespace sbrl

@@ -1,0 +1,50 @@
+#ifndef SBRL_DATA_CAUSAL_DATASET_H_
+#define SBRL_DATA_CAUSAL_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace sbrl {
+
+/// One observational sample for HTE estimation: covariates X, binary
+/// treatment T, factual outcome Y, and (for synthetic / semi-synthetic
+/// data) both true potential outcomes mu0 / mu1, which make PEHE and
+/// eps-ATE computable.
+struct CausalDataset {
+  Matrix x;            // (n x d) covariates
+  std::vector<int> t;  // length n, each 0 or 1
+  Matrix y;            // (n x 1) factual outcome
+  Matrix mu0;          // (n x 1) potential outcome under control
+  Matrix mu1;          // (n x 1) potential outcome under treatment
+  bool binary_outcome = true;
+
+  int64_t n() const { return x.rows(); }
+  int64_t dim() const { return x.cols(); }
+
+  /// Indices of treated (t == 1) units, in order.
+  std::vector<int64_t> TreatedIndices() const;
+  /// Indices of control (t == 0) units, in order.
+  std::vector<int64_t> ControlIndices() const;
+
+  /// True individual treatment effects mu1 - mu0 (length n).
+  std::vector<double> TrueIte() const;
+  /// True average treatment effect.
+  double TrueAte() const;
+
+  /// Counterfactual outcome of each unit (mu0 for treated, mu1 for
+  /// control), used by the Fig. 4 counterfactual-F1 evaluation.
+  std::vector<double> CounterfactualOutcomes() const;
+
+  /// Row subset (copies); `rows` may repeat or reorder.
+  CausalDataset Subset(const std::vector<int64_t>& rows) const;
+
+  /// Structural sanity: consistent sizes, both arms non-empty, t binary.
+  Status Validate() const;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_DATA_CAUSAL_DATASET_H_

@@ -1,0 +1,24 @@
+#ifndef SBRL_DATA_CSV_H_
+#define SBRL_DATA_CSV_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "data/causal_dataset.h"
+
+namespace sbrl {
+
+/// Writes a CausalDataset to `path` as CSV with header
+/// x0,...,x{d-1},t,y,mu0,mu1 and a leading metadata comment line
+/// "# binary_outcome=<0|1>". Returns an error Status on I/O failure.
+Status SaveCausalDatasetCsv(const CausalDataset& data,
+                            const std::string& path);
+
+/// Reads a CausalDataset previously written by SaveCausalDatasetCsv.
+/// Returns InvalidArgument on malformed content and NotFound when the
+/// file cannot be opened.
+StatusOr<CausalDataset> LoadCausalDatasetCsv(const std::string& path);
+
+}  // namespace sbrl
+
+#endif  // SBRL_DATA_CSV_H_

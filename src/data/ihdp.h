@@ -1,0 +1,48 @@
+#ifndef SBRL_DATA_IHDP_H_
+#define SBRL_DATA_IHDP_H_
+
+#include <cstdint>
+
+#include "data/twins.h"
+
+namespace sbrl {
+
+/// Configuration of the IHDP benchmark simulator.
+///
+/// The IHDP benchmark is a semi-synthetic dataset built by Hill (2011)
+/// from the Infant Health and Development Program RCT: 747 units (139
+/// treated / 608 control), 25 covariates (6 continuous, 19 binary),
+/// with simulated outcomes from the NPCI package. The original RCT
+/// covariates are not redistributable, so this module simulates
+/// covariates with matched dimensions / types / treated fraction and
+/// reproduces the published outcome recipe:
+///   mu0 = exp((X + 0.5) . beta),  mu1 = X . beta - omega,
+///   Y ~ N(mu_t, 1),
+/// beta_j drawn from {0, .1, .2, .3, .4} w.p. {.6, .1, .1, .1, .1} and
+/// omega calibrated per replication so the sample ATE is 4 (the
+/// heterogeneous "factual/counterfactual" surface used by the CFR line
+/// of work; continuous outcome, so heads train with MSE).
+///
+/// The paper's OOD twist (Sec. V-E): 10% of records are sampled into
+/// the test split with probability prod_{Xi in X_cont} |rho|^(-10 D_i),
+/// D_i = |ITE - sign(rho) X_i|, over the six CONTINUOUS covariates —
+/// some of which genuinely affect Y, making the shift harder than the
+/// synthetic setting. The remaining 90% split 70 / 30 train / valid.
+struct IhdpConfig {
+  int64_t n = 747;
+  double target_treated_fraction = 139.0 / 747.0;
+  int64_t continuous = 6;
+  int64_t binary = 19;
+  double rho = -2.5;
+  double test_fraction = 0.1;
+  double train_fraction_of_rest = 0.7;
+
+  int64_t total_covariates() const { return continuous + binary; }
+};
+
+/// Generates one IHDP replication (the paper averages 100 of these).
+RealWorldSplits MakeIhdpReplication(const IhdpConfig& config, uint64_t seed);
+
+}  // namespace sbrl
+
+#endif  // SBRL_DATA_IHDP_H_

@@ -1,0 +1,34 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbrl {
+
+std::pair<std::vector<int64_t>, std::vector<int64_t>> SplitIndices(
+    int64_t n, double fraction, Rng& rng) {
+  SBRL_CHECK_GT(n, 1);
+  SBRL_CHECK(fraction > 0.0 && fraction < 1.0)
+      << "fraction must lie strictly inside (0, 1)";
+  int64_t n_first =
+      static_cast<int64_t>(std::round(fraction * static_cast<double>(n)));
+  n_first = std::clamp<int64_t>(n_first, 1, n - 1);
+  std::vector<int64_t> perm = rng.Permutation(n);
+  std::vector<int64_t> first(perm.begin(), perm.begin() + n_first);
+  std::vector<int64_t> second(perm.begin() + n_first, perm.end());
+  // Keep row order stable within each part for reproducible datasets.
+  std::sort(first.begin(), first.end());
+  std::sort(second.begin(), second.end());
+  return {std::move(first), std::move(second)};
+}
+
+TrainValid SplitTrainValid(const CausalDataset& data, double train_fraction,
+                           Rng& rng) {
+  auto [train_idx, valid_idx] = SplitIndices(data.n(), train_fraction, rng);
+  TrainValid out;
+  out.train = data.Subset(train_idx);
+  out.valid = data.Subset(valid_idx);
+  return out;
+}
+
+}  // namespace sbrl

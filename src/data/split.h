@@ -1,0 +1,29 @@
+#ifndef SBRL_DATA_SPLIT_H_
+#define SBRL_DATA_SPLIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/causal_dataset.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+
+/// A random train / validation partition of one dataset.
+struct TrainValid {
+  CausalDataset train;
+  CausalDataset valid;
+};
+
+/// Random index partition of {0..n-1} with `fraction` of indices in the
+/// first part (at least one element in each part when 0 < fraction < 1).
+std::pair<std::vector<int64_t>, std::vector<int64_t>> SplitIndices(
+    int64_t n, double fraction, Rng& rng);
+
+/// Random row split of `data` with `train_fraction` of rows in train.
+TrainValid SplitTrainValid(const CausalDataset& data, double train_fraction,
+                           Rng& rng);
+
+}  // namespace sbrl
+
+#endif  // SBRL_DATA_SPLIT_H_

@@ -1,0 +1,142 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "data/sampling.h"
+
+namespace sbrl {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+SyntheticModel::SyntheticModel(const SyntheticDims& dims, uint64_t seed,
+                               int64_t calibration_pool)
+    : dims_(dims) {
+  SBRL_CHECK_GT(dims.m_i, 0);
+  SBRL_CHECK_GT(dims.m_c, 0);
+  SBRL_CHECK_GT(dims.m_a, 0);
+  SBRL_CHECK_GT(dims.m_v, 0);
+  Rng rng(seed);
+  theta_t_ = rng.Rand(dims.m_i + dims.m_c, 1, 8.0, 16.0);
+  theta_y0_ = rng.Rand(dims.m_c + dims.m_a, 1, 8.0, 16.0);
+  theta_y1_ = rng.Rand(dims.m_c + dims.m_a, 1, 8.0, 16.0);
+
+  // Calibrate the outcome thresholds on a large unbiased pool so the
+  // structural equations (and hence P(Y|X)) are environment-invariant.
+  SBRL_CHECK_GT(calibration_pool, 100);
+  Rng cal_rng = rng.Fork();
+  const double denom = 10.0 * static_cast<double>(dims.m_c + dims.m_a);
+  double sum0 = 0.0, sum1 = 0.0;
+  for (int64_t i = 0; i < calibration_pool; ++i) {
+    double z0 = 0.0, z1 = 0.0;
+    for (int64_t j = 0; j < dims.m_c + dims.m_a; ++j) {
+      const double xj = cal_rng.Normal();
+      z0 += theta_y0_(j, 0) * xj;
+      z1 += theta_y1_(j, 0) * xj * xj;
+    }
+    sum0 += z0 / denom;
+    sum1 += z1 / denom;
+  }
+  thr0_ = sum0 / static_cast<double>(calibration_pool);
+  thr1_ = sum1 / static_cast<double>(calibration_pool);
+}
+
+SyntheticModel::Unit SyntheticModel::DrawUnit(Rng& rng) const {
+  Unit unit;
+  const int64_t m = dims_.total();
+  unit.x.resize(static_cast<size_t>(m));
+  for (int64_t j = 0; j < m; ++j) {
+    unit.x[static_cast<size_t>(j)] = rng.Normal();
+  }
+  // Treatment from instruments + confounders (paper: z = theta_t.X_IC/10 + xi).
+  double zt = 0.0;
+  for (int64_t j = 0; j < dims_.m_i + dims_.m_c; ++j) {
+    zt += theta_t_(j, 0) * unit.x[static_cast<size_t>(j)];
+  }
+  zt = zt / 10.0 + rng.Normal();
+  unit.t = rng.Bernoulli(Sigmoid(zt)) ? 1 : 0;
+  // Potential outcomes from confounders + adjusters.
+  const double denom = 10.0 * static_cast<double>(dims_.m_c + dims_.m_a);
+  double z0 = 0.0, z1 = 0.0;
+  for (int64_t j = 0; j < dims_.m_c + dims_.m_a; ++j) {
+    const double xj = unit.x[static_cast<size_t>(dims_.m_i + j)];
+    z0 += theta_y0_(j, 0) * xj;
+    z1 += theta_y1_(j, 0) * xj * xj;
+  }
+  unit.y0 = (z0 / denom > thr0_) ? 1.0 : 0.0;
+  unit.y1 = (z1 / denom > thr1_) ? 1.0 : 0.0;
+  return unit;
+}
+
+CausalDataset SyntheticModel::SampleEnvironment(int64_t n, double rho,
+                                                uint64_t env_seed) const {
+  SBRL_CHECK_GT(n, 0);
+  SBRL_CHECK_GT(std::abs(rho), 1.0) << "bias rate must satisfy |rho| > 1";
+  Rng rng(env_seed);
+  CausalDataset data;
+  data.x = Matrix(n, dims_.total());
+  data.y = Matrix(n, 1);
+  data.mu0 = Matrix(n, 1);
+  data.mu1 = Matrix(n, 1);
+  data.t.resize(static_cast<size_t>(n));
+  data.binary_outcome = true;
+
+  const int64_t max_attempts = n * 100000;
+  int64_t accepted = 0;
+  int64_t attempts = 0;
+  std::vector<double> unstable(static_cast<size_t>(dims_.m_v));
+  while (accepted < n) {
+    SBRL_CHECK_LT(attempts, max_attempts)
+        << "rejection sampling failed to reach n=" << n
+        << " at rho=" << rho << "; acceptance rate too low";
+    ++attempts;
+    Unit unit = DrawUnit(rng);
+    for (int64_t v = 0; v < dims_.m_v; ++v) {
+      unstable[static_cast<size_t>(v)] =
+          unit.x[static_cast<size_t>(unstable_begin() + v)];
+    }
+    const double log_w =
+        BiasedSelectionLogWeight(unit.y1 - unit.y0, unstable, rho);
+    if (!AcceptWithLogProb(log_w, rng)) continue;
+    for (int64_t j = 0; j < dims_.total(); ++j) {
+      data.x(accepted, j) = unit.x[static_cast<size_t>(j)];
+    }
+    data.t[static_cast<size_t>(accepted)] = unit.t;
+    data.mu0(accepted, 0) = unit.y0;
+    data.mu1(accepted, 0) = unit.y1;
+    data.y(accepted, 0) = unit.t == 1 ? unit.y1 : unit.y0;
+    ++accepted;
+  }
+  return data;
+}
+
+CausalDataset SyntheticModel::SampleUnbiased(int64_t n,
+                                             uint64_t env_seed) const {
+  SBRL_CHECK_GT(n, 0);
+  Rng rng(env_seed);
+  CausalDataset data;
+  data.x = Matrix(n, dims_.total());
+  data.y = Matrix(n, 1);
+  data.mu0 = Matrix(n, 1);
+  data.mu1 = Matrix(n, 1);
+  data.t.resize(static_cast<size_t>(n));
+  data.binary_outcome = true;
+  for (int64_t i = 0; i < n; ++i) {
+    Unit unit = DrawUnit(rng);
+    for (int64_t j = 0; j < dims_.total(); ++j) {
+      data.x(i, j) = unit.x[static_cast<size_t>(j)];
+    }
+    data.t[static_cast<size_t>(i)] = unit.t;
+    data.mu0(i, 0) = unit.y0;
+    data.mu1(i, 0) = unit.y1;
+    data.y(i, 0) = unit.t == 1 ? unit.y1 : unit.y0;
+  }
+  return data;
+}
+
+}  // namespace sbrl

@@ -1,0 +1,80 @@
+#include "eval/experiment.h"
+
+namespace sbrl {
+
+std::vector<MethodSpec> AllNineMethods() {
+  std::vector<MethodSpec> methods;
+  for (BackboneKind backbone :
+       {BackboneKind::kTarnet, BackboneKind::kCfr, BackboneKind::kDerCfr}) {
+    for (FrameworkKind framework :
+         {FrameworkKind::kVanilla, FrameworkKind::kSbrl,
+          FrameworkKind::kSbrlHap}) {
+      methods.push_back({backbone, framework});
+    }
+  }
+  return methods;
+}
+
+EvalResult EvaluateEstimator(const HteEstimator& estimator,
+                             const CausalDataset& data) {
+  EvalResult result;
+  const std::vector<double> ite_hat = estimator.PredictIte(data.x);
+  const std::vector<double> ite_true = data.TrueIte();
+  result.pehe = Pehe(ite_hat, ite_true);
+  result.ate_error = AteError(ite_hat, ite_true);
+  if (data.binary_outcome) {
+    const Matrix outcomes = estimator.PredictPotentialOutcomes(data.x);
+    std::vector<double> factual_pred(static_cast<size_t>(data.n()));
+    std::vector<double> factual_true(static_cast<size_t>(data.n()));
+    std::vector<double> counter_pred(static_cast<size_t>(data.n()));
+    for (int64_t i = 0; i < data.n(); ++i) {
+      const bool treated = data.t[static_cast<size_t>(i)] == 1;
+      factual_pred[static_cast<size_t>(i)] = outcomes(i, treated ? 1 : 0);
+      factual_true[static_cast<size_t>(i)] = data.y(i, 0);
+      counter_pred[static_cast<size_t>(i)] = outcomes(i, treated ? 0 : 1);
+    }
+    const std::vector<double> counter_true = data.CounterfactualOutcomes();
+    result.f1_factual = F1Score(factual_pred, factual_true);
+    result.f1_counterfactual = F1Score(counter_pred, counter_true);
+  }
+  return result;
+}
+
+EstimatorConfig WithMethod(EstimatorConfig base, const MethodSpec& spec) {
+  base.backbone = spec.backbone;
+  base.framework = spec.framework;
+  return base;
+}
+
+StatusOr<std::vector<EvalResult>> TrainAndEvaluate(
+    const EstimatorConfig& config, const CausalDataset& train,
+    const CausalDataset* valid,
+    const std::vector<const CausalDataset*>& tests) {
+  SBRL_ASSIGN_OR_RETURN(HteEstimator estimator,
+                        HteEstimator::Create(config));
+  SBRL_RETURN_IF_ERROR(estimator.Fit(train, valid));
+  std::vector<EvalResult> results;
+  results.reserve(tests.size());
+  for (const CausalDataset* test : tests) {
+    SBRL_CHECK(test != nullptr);
+    results.push_back(EvaluateEstimator(estimator, *test));
+  }
+  return results;
+}
+
+ReplicationStats AggregateReplications(const std::vector<EvalResult>& runs) {
+  SBRL_CHECK(!runs.empty());
+  std::vector<double> pehes, ates;
+  pehes.reserve(runs.size());
+  ates.reserve(runs.size());
+  for (const EvalResult& r : runs) {
+    pehes.push_back(r.pehe);
+    ates.push_back(r.ate_error);
+  }
+  ReplicationStats stats;
+  stats.pehe = AggregateOverEnvironments(pehes);
+  stats.ate_error = AggregateOverEnvironments(ates);
+  return stats;
+}
+
+}  // namespace sbrl

@@ -1,0 +1,61 @@
+#ifndef SBRL_EVAL_EXPERIMENT_H_
+#define SBRL_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/estimator.h"
+#include "data/causal_dataset.h"
+#include "stats/metrics.h"
+
+namespace sbrl {
+
+/// One (backbone, framework) combination — a row of the paper's tables.
+struct MethodSpec {
+  BackboneKind backbone;
+  FrameworkKind framework;
+
+  std::string name() const { return MethodName(backbone, framework); }
+};
+
+/// The nine methods of the paper's evaluation: {TARNet, CFR, DeR-CFR} x
+/// {vanilla, +SBRL, +SBRL-HAP}, in table order.
+std::vector<MethodSpec> AllNineMethods();
+
+/// Point metrics of a fitted estimator on one evaluation population.
+struct EvalResult {
+  double pehe = 0.0;
+  double ate_error = 0.0;
+  double f1_factual = 0.0;
+  double f1_counterfactual = 0.0;
+};
+
+/// Evaluates a fitted estimator against the ground-truth potential
+/// outcomes carried by `data`. F1 metrics are only meaningful for
+/// binary outcomes (they are 0 otherwise).
+EvalResult EvaluateEstimator(const HteEstimator& estimator,
+                             const CausalDataset& data);
+
+/// Applies a method spec onto a base configuration.
+EstimatorConfig WithMethod(EstimatorConfig base, const MethodSpec& spec);
+
+/// Fits `config` on train/valid and evaluates on every test population.
+/// Returns one EvalResult per entry of `tests`.
+StatusOr<std::vector<EvalResult>> TrainAndEvaluate(
+    const EstimatorConfig& config, const CausalDataset& train,
+    const CausalDataset* valid,
+    const std::vector<const CausalDataset*>& tests);
+
+/// Mean ± std cell over replications, one per metric.
+struct ReplicationStats {
+  EnvAggregate pehe;
+  EnvAggregate ate_error;
+};
+
+/// Aggregates per-replication results into mean ± std cells.
+ReplicationStats AggregateReplications(const std::vector<EvalResult>& runs);
+
+}  // namespace sbrl
+
+#endif  // SBRL_EVAL_EXPERIMENT_H_

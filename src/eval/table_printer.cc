@@ -1,0 +1,57 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sbrl {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SBRL_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SBRL_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_line = [&os, &widths]() {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << "+" << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&os, &widths](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : "";
+      os << "| " << text << std::string(widths[c] - text.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  print_line();
+  print_row(headers_);
+  print_line();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_line();
+    } else {
+      print_row(row);
+    }
+  }
+  print_line();
+}
+
+}  // namespace sbrl

@@ -1,0 +1,32 @@
+#ifndef SBRL_EVAL_TABLE_PRINTER_H_
+#define SBRL_EVAL_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace sbrl {
+
+/// Fixed-width console table used by the bench harness to print rows in
+/// the layout of the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator after the current last row.
+  void AddSeparator();
+
+  /// Renders the table with per-column width fitting.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_EVAL_TABLE_PRINTER_H_

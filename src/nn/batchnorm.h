@@ -1,0 +1,43 @@
+#ifndef SBRL_NN_BATCHNORM_H_
+#define SBRL_NN_BATCHNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "autodiff/ops.h"
+#include "nn/parameter.h"
+
+namespace sbrl {
+
+/// Batch normalization over the row (sample) dimension with learned
+/// scale/shift. Training mode normalizes by batch statistics and updates
+/// exponential running estimates; inference mode uses the running
+/// estimates as constants. The paper's `batch norm` hyper-parameter
+/// toggles this layer inside each MLP.
+class BatchNorm {
+ public:
+  BatchNorm() = default;
+  BatchNorm(const std::string& name, int64_t dim, double momentum = 0.9,
+            double eps = 1e-5);
+
+  /// Records the normalization on the binder's tape.
+  Var Forward(ParamBinder& binder, Var x, bool training) const;
+
+  void CollectParams(std::vector<Param*>* out);
+
+  int64_t dim() const { return gamma_.value.cols(); }
+
+ private:
+  mutable Param gamma_;
+  mutable Param beta_;
+  // Running statistics are state, not parameters: updated in-place during
+  // training forward passes, read as constants at inference.
+  mutable Matrix running_mean_;
+  mutable Matrix running_var_;
+  double momentum_ = 0.9;
+  double eps_ = 1e-5;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_NN_BATCHNORM_H_

@@ -1,0 +1,23 @@
+#include "nn/dense.h"
+
+namespace sbrl {
+
+Dense::Dense(const std::string& name, int64_t in_dim, int64_t out_dim,
+             Rng& rng, InitKind kind)
+    : weight_(name + ".W", InitWeights(rng, in_dim, out_dim, kind)),
+      bias_(name + ".b", Matrix::Zeros(1, out_dim)) {}
+
+Var Dense::Forward(ParamBinder& binder, Var x) const {
+  SBRL_CHECK_EQ(x.cols(), in_dim())
+      << "Dense '" << weight_.name << "' expects input dim " << in_dim();
+  Var w = binder.Bind(weight_);
+  Var b = binder.Bind(bias_);
+  return ops::AddRow(ops::Matmul(x, w), b);
+}
+
+void Dense::CollectParams(std::vector<Param*>* out) {
+  out->push_back(&weight_);
+  out->push_back(&bias_);
+}
+
+}  // namespace sbrl

@@ -1,0 +1,24 @@
+#ifndef SBRL_NN_INITIALIZER_H_
+#define SBRL_NN_INITIALIZER_H_
+
+#include "tensor/matrix.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+
+/// Weight initialization schemes. The paper's reference implementations
+/// (CFR-family TensorFlow code) use truncated-normal / Glorot-style
+/// initializations; we provide the standard set.
+enum class InitKind {
+  kGlorotNormal,
+  kGlorotUniform,
+  kHeNormal,
+  kZeros,
+};
+
+/// Draws an (fan_in x fan_out) weight matrix under `kind`.
+Matrix InitWeights(Rng& rng, int64_t fan_in, int64_t fan_out, InitKind kind);
+
+}  // namespace sbrl
+
+#endif  // SBRL_NN_INITIALIZER_H_

@@ -1,0 +1,13 @@
+#include "nn/lr_schedule.h"
+
+#include <cmath>
+
+namespace sbrl {
+
+double ExponentialDecaySchedule::LearningRate(int64_t t) const {
+  const double exponent =
+      static_cast<double>(t) / static_cast<double>(decay_steps_);
+  return base_lr_ * std::pow(decay_rate_, exponent);
+}
+
+}  // namespace sbrl

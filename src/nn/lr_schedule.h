@@ -1,0 +1,35 @@
+#ifndef SBRL_NN_LR_SCHEDULE_H_
+#define SBRL_NN_LR_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace sbrl {
+
+/// Exponentially decaying learning-rate schedule, matching the paper's
+/// training setup: lr(t) = base * decay_rate^(t / decay_steps).
+class ExponentialDecaySchedule {
+ public:
+  ExponentialDecaySchedule(double base_lr, double decay_rate,
+                           int64_t decay_steps)
+      : base_lr_(base_lr), decay_rate_(decay_rate),
+        decay_steps_(decay_steps) {
+    SBRL_CHECK_GT(base_lr, 0.0);
+    SBRL_CHECK_GT(decay_rate, 0.0);
+    SBRL_CHECK_LE(decay_rate, 1.0);
+    SBRL_CHECK_GT(decay_steps, 0);
+  }
+
+  /// Learning rate at step `t` (continuous decay).
+  double LearningRate(int64_t t) const;
+
+ private:
+  double base_lr_;
+  double decay_rate_;
+  int64_t decay_steps_;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_NN_LR_SCHEDULE_H_

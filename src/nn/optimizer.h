@@ -1,0 +1,58 @@
+#ifndef SBRL_NN_OPTIMIZER_H_
+#define SBRL_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace sbrl {
+
+/// Adam configuration (defaults follow Kingma & Ba and the paper's
+/// TensorFlow setup).
+struct AdamConfig {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// Decoupled L2 weight decay applied to the value (0 disables). The
+  /// paper's R_l2 on head weights maps here.
+  double weight_decay = 0.0;
+};
+
+/// Adam optimizer over a fixed set of Params. The learning rate is
+/// passed per step so schedules stay external.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(std::vector<Param*> params,
+                         const AdamConfig& config = AdamConfig());
+
+  /// Applies one Adam update from each Param's accumulated grad, then
+  /// zeroes the grads.
+  void Step(double lr);
+
+  /// Zeroes all gradients without updating (e.g. after a skipped step).
+  void ZeroGrad();
+
+  int64_t step_count() const { return step_count_; }
+  const std::vector<Param*>& params() const { return params_; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  int64_t step_count_ = 0;
+};
+
+/// Plain SGD, used by tests as a reference optimizer.
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(std::vector<Param*> params);
+
+  void Step(double lr);
+
+ private:
+  std::vector<Param*> params_;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_NN_OPTIMIZER_H_

@@ -1,0 +1,30 @@
+#include "nn/parameter.h"
+
+namespace sbrl {
+
+Var ParamBinder::Bind(Param& p) {
+  for (const auto& [id, bound] : bindings_) {
+    // Re-binding returns the existing leaf so gradients accumulate into
+    // a single node (e.g. a weight matrix used by both the forward pass
+    // and an orthogonality penalty).
+    if (bound == &p) return Var(tape_, id);
+  }
+  Var leaf = tape_->Leaf(p.value);
+  bindings_.emplace_back(leaf.id(), &p);
+  return leaf;
+}
+
+void ParamBinder::FlushGrads() {
+  for (const auto& [id, p] : bindings_) {
+    if (!tape_->has_grad(id)) continue;
+    const Matrix& g = tape_->grad(id);
+    SBRL_CHECK(g.same_shape(p->value));
+    if (p->grad.empty()) {
+      p->grad = g;
+    } else {
+      p->grad += g;
+    }
+  }
+}
+
+}  // namespace sbrl

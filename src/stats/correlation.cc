@@ -1,0 +1,75 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/hsic.h"
+#include "tensor/linalg.h"
+
+namespace sbrl {
+
+Matrix PearsonCorrelationMatrix(const Matrix& x) {
+  const int64_t n = x.rows(), d = x.cols();
+  SBRL_CHECK_GT(n, 1);
+  Matrix means = ColMean(x);
+  Matrix centered(n, d);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < d; ++c) centered(r, c) = x(r, c) - means(0, c);
+  }
+  Matrix cov = MatmulTransA(centered, centered);
+  cov *= 1.0 / static_cast<double>(n);
+  Matrix corr(d, d);
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      const double denom = std::sqrt(cov(i, i) * cov(j, j));
+      if (i == j) {
+        corr(i, j) = 1.0;
+      } else if (denom < 1e-12) {
+        corr(i, j) = 0.0;
+      } else {
+        corr(i, j) = cov(i, j) / denom;
+      }
+    }
+  }
+  return corr;
+}
+
+Matrix PairwiseHsicRffMatrix(const Matrix& x, const Matrix& w,
+                             int64_t num_features, Rng& rng,
+                             int64_t max_dims) {
+  int64_t d = x.cols();
+  std::vector<int64_t> dims;
+  if (max_dims > 0 && max_dims < d) {
+    dims = rng.SampleWithoutReplacement(d, max_dims);
+    d = max_dims;
+  } else {
+    dims.resize(static_cast<size_t>(d));
+    for (int64_t i = 0; i < d; ++i) dims[static_cast<size_t>(i)] = i;
+  }
+  Matrix out(d, d);
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = i + 1; j < d; ++j) {
+      const double h = WeightedHsicRff(x.Col(dims[static_cast<size_t>(i)]),
+                                       x.Col(dims[static_cast<size_t>(j)]),
+                                       w, num_features, rng);
+      out(i, j) = h;
+      out(j, i) = h;
+    }
+  }
+  return out;
+}
+
+double MeanOffDiagonal(const Matrix& m) {
+  SBRL_CHECK_EQ(m.rows(), m.cols());
+  const int64_t d = m.rows();
+  SBRL_CHECK_GT(d, 1);
+  double acc = 0.0;
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      if (i != j) acc += m(i, j);
+    }
+  }
+  return acc / static_cast<double>(d * (d - 1));
+}
+
+}  // namespace sbrl

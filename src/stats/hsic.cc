@@ -1,0 +1,99 @@
+#include "stats/hsic.h"
+
+#include <vector>
+
+#include "stats/kernels.h"
+#include "stats/weighted.h"
+#include "tensor/linalg.h"
+
+namespace sbrl {
+
+namespace {
+
+/// Centers a kernel matrix: H K H with H = I - 11^T / n.
+Matrix CenterKernel(const Matrix& k) {
+  const int64_t n = k.rows();
+  Matrix row_means = ColMean(k);   // (1 x n)
+  Matrix col_means = RowMean(k);   // (n x 1)
+  const double grand = k.Mean();
+  Matrix out(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out(i, j) = k(i, j) - row_means(0, j) - col_means(i, 0) + grand;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double Hsic(const Matrix& a, const Matrix& b, double bandwidth_a,
+            double bandwidth_b) {
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  SBRL_CHECK_GT(a.rows(), 1);
+  const int64_t n = a.rows();
+  Matrix ka = CenterKernel(RbfKernel(a, a, bandwidth_a));
+  Matrix kb = RbfKernel(b, b, bandwidth_b);
+  // tr(Ka_centered * Kb) equals tr(H Ka H Kb); elementwise product trace.
+  double trace = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) trace += ka(i, j) * kb(j, i);
+  }
+  return trace / static_cast<double>(n * n);
+}
+
+double Hsic(const Matrix& a, const Matrix& b) {
+  return Hsic(a, b, MedianHeuristicBandwidth(a), MedianHeuristicBandwidth(b));
+}
+
+double HsicRff(const Matrix& a, const Matrix& b, int64_t num_features,
+               Rng& rng) {
+  Matrix uniform = Matrix::Ones(a.rows(), 1);
+  return WeightedHsicRff(a, b, uniform, num_features, rng);
+}
+
+double WeightedHsicRff(const Matrix& a, const Matrix& b, const Matrix& w,
+                       int64_t num_features, Rng& rng) {
+  SBRL_CHECK_EQ(a.cols(), 1);
+  SBRL_CHECK_EQ(b.cols(), 1);
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  RffProjection proj_a = SampleRff(rng, 1, num_features);
+  RffProjection proj_b = SampleRff(rng, 1, num_features);
+  Matrix u = ApplyRff(proj_a, a);  // (n x k)
+  Matrix v = ApplyRff(proj_b, b);  // (n x k)
+  Matrix cov = WeightedCrossCovariance(u, v, w);
+  double frob2 = 0.0;
+  for (int64_t i = 0; i < cov.size(); ++i) frob2 += cov[i] * cov[i];
+  return frob2;
+}
+
+double PairwiseWeightedHsicRff(const Matrix& x, const Matrix& w,
+                               int64_t num_features, Rng& rng,
+                               int64_t max_pairs) {
+  const int64_t d = x.cols();
+  SBRL_CHECK_GT(d, 1);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t a = 0; a < d; ++a) {
+    for (int64_t b = a + 1; b < d; ++b) pairs.emplace_back(a, b);
+  }
+  const int64_t total = static_cast<int64_t>(pairs.size());
+  int64_t use = total;
+  if (max_pairs > 0 && max_pairs < total) {
+    use = max_pairs;
+    std::vector<int64_t> chosen = rng.SampleWithoutReplacement(total, use);
+    std::vector<std::pair<int64_t, int64_t>> subset;
+    subset.reserve(static_cast<size_t>(use));
+    for (int64_t idx : chosen) {
+      subset.push_back(pairs[static_cast<size_t>(idx)]);
+    }
+    pairs.swap(subset);
+  }
+  double acc = 0.0;
+  for (const auto& [a, b] : pairs) {
+    acc += WeightedHsicRff(x.Col(a), x.Col(b), w, num_features, rng);
+  }
+  // Rescale a sampled subset to estimate the full-pair sum.
+  return acc * static_cast<double>(total) / static_cast<double>(use);
+}
+
+}  // namespace sbrl

@@ -1,0 +1,25 @@
+#include "stats/rff.h"
+
+#include <cmath>
+
+#include "tensor/linalg.h"
+
+namespace sbrl {
+
+RffProjection SampleRff(Rng& rng, int64_t in_dim, int64_t num_features) {
+  SBRL_CHECK_GT(in_dim, 0);
+  SBRL_CHECK_GT(num_features, 0);
+  RffProjection proj;
+  proj.w = rng.Randn(in_dim, num_features);
+  proj.phi = rng.Rand(1, num_features, 0.0, 2.0 * M_PI);
+  return proj;
+}
+
+Matrix ApplyRff(const RffProjection& proj, const Matrix& x) {
+  SBRL_CHECK_EQ(x.cols(), proj.in_dim());
+  Matrix projected = AddRowBroadcast(Matmul(x, proj.w), proj.phi);
+  const double root2 = std::sqrt(2.0);
+  return Map(projected, [root2](double v) { return root2 * std::cos(v); });
+}
+
+}  // namespace sbrl

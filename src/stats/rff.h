@@ -1,0 +1,32 @@
+#ifndef SBRL_STATS_RFF_H_
+#define SBRL_STATS_RFF_H_
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+
+/// A draw from the paper's Random Fourier Feature function space
+/// H_RFF = { h : x -> sqrt(2) cos(w x + phi) } with w ~ N(0, 1) and
+/// phi ~ U(0, 2 pi). `w` has one row per input dimension and one column
+/// per random feature.
+struct RffProjection {
+  Matrix w;    // (in_dim x num_features)
+  Matrix phi;  // (1 x num_features)
+
+  int64_t num_features() const { return w.cols(); }
+  int64_t in_dim() const { return w.rows(); }
+};
+
+/// Samples an RFF projection with `num_features` cosine features.
+RffProjection SampleRff(Rng& rng, int64_t in_dim, int64_t num_features);
+
+/// Applies the projection to samples `x` (n x in_dim), returning the
+/// (n x num_features) feature matrix sqrt(2) cos(x w + phi).
+Matrix ApplyRff(const RffProjection& proj, const Matrix& x);
+
+}  // namespace sbrl
+
+#endif  // SBRL_STATS_RFF_H_

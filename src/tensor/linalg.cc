@@ -1,0 +1,228 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+namespace sbrl {
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK_EQ(a.cols(), b.rows())
+      << "Matmul shape mismatch " << a.ShapeString() << " * "
+      << b.ShapeString();
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  Matrix out(n, m);
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double* arow = ad + i * k;
+    double* orow = od + i * m;
+    for (int64_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = bd + p * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK_EQ(a.rows(), b.rows())
+      << "MatmulTransA shape mismatch " << a.ShapeString() << "^T * "
+      << b.ShapeString();
+  const int64_t k = a.rows(), n = a.cols(), m = b.cols();
+  Matrix out(n, m);
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const double* arow = ad + p * n;
+    const double* brow = bd + p * m;
+    for (int64_t i = 0; i < n; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = od + i * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatmulTransB(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK_EQ(a.cols(), b.cols())
+      << "MatmulTransB shape mismatch " << a.ShapeString() << " * "
+      << b.ShapeString() << "^T";
+  const int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  Matrix out(n, m);
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double* arow = ad + i * k;
+    double* orow = od + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const double* brow = bd + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  }
+  return out;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += a(r, c);
+    out(r, 0) = acc;
+  }
+  return out;
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out(0, c) += a(r, c);
+  }
+  return out;
+}
+
+Matrix RowMean(const Matrix& a) {
+  SBRL_CHECK_GT(a.cols(), 0);
+  Matrix out = RowSum(a);
+  out *= 1.0 / static_cast<double>(a.cols());
+  return out;
+}
+
+Matrix ColMean(const Matrix& a) {
+  SBRL_CHECK_GT(a.rows(), 0);
+  Matrix out = ColSum(a);
+  out *= 1.0 / static_cast<double>(a.rows());
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK(a.same_shape(b))
+      << a.ShapeString() << " vs " << b.ShapeString();
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  return out;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  SBRL_CHECK_EQ(row.rows(), 1);
+  SBRL_CHECK_EQ(row.cols(), a.cols());
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) + row(0, c);
+  }
+  return out;
+}
+
+Matrix MulColBroadcast(const Matrix& a, const Matrix& col) {
+  SBRL_CHECK_EQ(col.cols(), 1);
+  SBRL_CHECK_EQ(col.rows(), a.rows());
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const double s = col(r, 0);
+    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) * s;
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int64_t>& idx) {
+  Matrix out(static_cast<int64_t>(idx.size()), a.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    SBRL_CHECK(idx[i] >= 0 && idx[i] < a.rows())
+        << "gather index " << idx[i] << " out of range " << a.rows();
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      out(static_cast<int64_t>(i), c) = a(idx[i], c);
+    }
+  }
+  return out;
+}
+
+Matrix ScatterAddRows(const Matrix& a, const std::vector<int64_t>& idx,
+                      int64_t rows) {
+  SBRL_CHECK_EQ(static_cast<int64_t>(idx.size()), a.rows());
+  Matrix out(rows, a.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    SBRL_CHECK(idx[i] >= 0 && idx[i] < rows);
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      out(idx[i], c) += a(static_cast<int64_t>(i), c);
+    }
+  }
+  return out;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+    for (int64_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
+  }
+  return out;
+}
+
+Matrix ConcatRows(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+  }
+  for (int64_t r = 0; r < b.rows(); ++r) {
+    for (int64_t c = 0; c < b.cols(); ++c) out(a.rows() + r, c) = b(r, c);
+  }
+  return out;
+}
+
+Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK_EQ(a.cols(), b.cols());
+  Matrix cross = MatmulTransB(a, b);  // (n x m)
+  Matrix a2 = RowSum(Hadamard(a, a));  // (n x 1)
+  Matrix b2 = RowSum(Hadamard(b, b));  // (m x 1)
+  Matrix out(a.rows(), b.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      double d = a2(i, 0) + b2(j, 0) - 2.0 * cross(i, j);
+      out(i, j) = d > 0.0 ? d : 0.0;  // guard tiny negative round-off
+    }
+  }
+  return out;
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double StdDev(const Matrix& a) {
+  SBRL_CHECK_GT(a.size(), 0);
+  const double mu = a.Mean();
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace sbrl

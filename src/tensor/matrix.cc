@@ -1,0 +1,162 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sbrl {
+
+Matrix Matrix::FromRows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  int64_t n = static_cast<int64_t>(rows.size());
+  int64_t m = n == 0 ? 0 : static_cast<int64_t>(rows.begin()->size());
+  Matrix out(n, m);
+  int64_t r = 0;
+  for (const auto& row : rows) {
+    SBRL_CHECK_EQ(static_cast<int64_t>(row.size()), m)
+        << "ragged rows in Matrix::FromRows";
+    int64_t c = 0;
+    for (double v : row) out(r, c++) = v;
+    ++r;
+  }
+  return out;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix out(static_cast<int64_t>(values.size()), 1);
+  std::copy(values.begin(), values.end(), out.data());
+  return out;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix out(1, static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), out.data());
+  return out;
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix out(n, n);
+  for (int64_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+std::string Matrix::ShapeString() const {
+  std::ostringstream os;
+  os << "(" << rows_ << "x" << cols_ << ")";
+  return os.str();
+}
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SBRL_CHECK(same_shape(other))
+      << ShapeString() << " vs " << other.ShapeString();
+  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SBRL_CHECK(same_shape(other))
+      << ShapeString() << " vs " << other.ShapeString();
+  for (int64_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (int64_t i = 0; i < size(); ++i) data_[i] *= s;
+  return *this;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, double s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) { return a * s; }
+
+double Matrix::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Matrix::Mean() const {
+  SBRL_CHECK_GT(size(), 0);
+  return Sum() / static_cast<double>(size());
+}
+
+double Matrix::MaxValue() const {
+  SBRL_CHECK_GT(size(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Matrix::MinValue() const {
+  SBRL_CHECK_GT(size(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::Norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+Matrix Matrix::Col(int64_t c) const {
+  SBRL_CHECK(c >= 0 && c < cols_);
+  Matrix out(rows_, 1);
+  for (int64_t r = 0; r < rows_; ++r) out(r, 0) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Row(int64_t r) const {
+  SBRL_CHECK(r >= 0 && r < rows_);
+  Matrix out(1, cols_);
+  for (int64_t c = 0; c < cols_; ++c) out(0, c) = (*this)(r, c);
+  return out;
+}
+
+std::vector<double> Matrix::ToVector() const { return data_; }
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Matrix" << ShapeString() << " [\n";
+  int64_t show_r = std::min<int64_t>(rows_, max_rows);
+  int64_t show_c = std::min<int64_t>(cols_, max_cols);
+  for (int64_t r = 0; r < show_r; ++r) {
+    os << "  ";
+    for (int64_t c = 0; c < show_c; ++c) {
+      os << FormatDouble((*this)(r, c), 4);
+      if (c + 1 < show_c) os << ", ";
+    }
+    if (show_c < cols_) os << ", ...";
+    os << "\n";
+  }
+  if (show_r < rows_) os << "  ...\n";
+  os << "]";
+  return os.str();
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (!a.same_shape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace sbrl

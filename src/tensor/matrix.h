@@ -1,0 +1,148 @@
+#ifndef SBRL_TENSOR_MATRIX_H_
+#define SBRL_TENSOR_MATRIX_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sbrl {
+
+/// Dense row-major matrix of doubles. This is the single numeric
+/// container used across the library: network activations are (n x d)
+/// matrices, vectors are (n x 1) or (1 x d) matrices, and scalars are
+/// (1 x 1). Double precision is deliberate — the HSIC / IPM statistics at
+/// the heart of SBRL-HAP involve small differences of large sums.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Uninitialized-to-zero matrix of shape (rows x cols).
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0) {
+    SBRL_CHECK_GE(rows, 0);
+    SBRL_CHECK_GE(cols, 0);
+  }
+
+  /// Constant-filled matrix of shape (rows x cols).
+  Matrix(int64_t rows, int64_t cols, double fill)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), fill) {
+    SBRL_CHECK_GE(rows, 0);
+    SBRL_CHECK_GE(cols, 0);
+  }
+
+  /// Builds a matrix from nested braces: Matrix::FromRows({{1,2},{3,4}}).
+  static Matrix FromRows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds an (n x 1) column vector from a flat vector.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  /// Builds a (1 x n) row vector from a flat vector.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  static Matrix Zeros(int64_t rows, int64_t cols) {
+    return Matrix(rows, cols);
+  }
+  static Matrix Ones(int64_t rows, int64_t cols) {
+    return Matrix(rows, cols, 1.0);
+  }
+  static Matrix Constant(int64_t rows, int64_t cols, double v) {
+    return Matrix(rows, cols, v);
+  }
+  static Matrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  /// True if shape is exactly (1 x 1).
+  bool is_scalar() const { return rows_ == 1 && cols_ == 1; }
+
+  /// Value of a (1 x 1) matrix; CHECK-fails otherwise.
+  double scalar() const {
+    SBRL_CHECK(is_scalar()) << "shape " << ShapeString();
+    return data_[0];
+  }
+
+  double& operator()(int64_t r, int64_t c) {
+    SBRL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double operator()(int64_t r, int64_t c) const {
+    SBRL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Flat element access in row-major order.
+  double& operator[](int64_t i) {
+    SBRL_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+  double operator[](int64_t i) const {
+    SBRL_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// "(3x4)" — used in CHECK diagnostics.
+  std::string ShapeString() const;
+
+  /// Fills every element with `v`.
+  void Fill(double v);
+
+  /// In-place elementwise operations (shape must match exactly).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Elementwise arithmetic (shape must match exactly).
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+  friend Matrix operator*(const Matrix& a, double s);
+  friend Matrix operator*(double s, const Matrix& a);
+
+  /// Sum of all elements.
+  double Sum() const;
+  /// Mean of all elements; CHECK-fails on empty matrices.
+  double Mean() const;
+  /// Maximum / minimum element; CHECK-fails on empty matrices.
+  double MaxValue() const;
+  double MinValue() const;
+  /// Frobenius norm.
+  double Norm() const;
+
+  /// Copy of column `c` as an (n x 1) matrix.
+  Matrix Col(int64_t c) const;
+  /// Copy of row `r` as a (1 x m) matrix.
+  Matrix Row(int64_t r) const;
+
+  /// Flattens to a std::vector in row-major order.
+  std::vector<double> ToVector() const;
+
+  /// Multi-line human-readable rendering (for debugging / examples).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+/// True when shapes match and all elements differ by at most `tol`.
+bool AllClose(const Matrix& a, const Matrix& b, double tol = 1e-9);
+
+}  // namespace sbrl
+
+#endif  // SBRL_TENSOR_MATRIX_H_

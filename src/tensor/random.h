@@ -1,0 +1,56 @@
+#ifndef SBRL_TENSOR_RANDOM_H_
+#define SBRL_TENSOR_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace sbrl {
+
+/// Deterministic random number generator. All stochastic components
+/// (data generation, initialization, RFF draws, pair subsampling) take an
+/// Rng so experiments and tests are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal (or N(mean, stddev)) draw.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Matrix of iid N(mean, stddev) entries.
+  Matrix Randn(int64_t rows, int64_t cols, double mean = 0.0,
+               double stddev = 1.0);
+
+  /// Matrix of iid Uniform[lo, hi) entries.
+  Matrix Rand(int64_t rows, int64_t cols, double lo = 0.0, double hi = 1.0);
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<int64_t> Permutation(int64_t n);
+
+  /// k distinct indices sampled uniformly from {0, ..., n-1}, k <= n.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Derives an independent child generator; used to give each
+  /// replication / module its own stream without coupling.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_TENSOR_RANDOM_H_

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <tuple>
+
+#include "autodiff/grad_check.h"
+#include "autodiff/ops.h"
+#include "autodiff/tape.h"
+#include "tensor/linalg.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace {
+
+// Builds f: Matrix -> double from a Var graph and checks the analytic
+// gradient at `x` against central differences.
+void CheckGradient(const std::function<Var(Tape&, Var)>& graph,
+                   const Matrix& x, double tol = 1e-6) {
+  Tape tape;
+  Var leaf = tape.Leaf(x);
+  Var loss = graph(tape, leaf);
+  ASSERT_TRUE(loss.value().is_scalar());
+  tape.Backward(loss);
+  const Matrix analytic = leaf.grad();
+  auto f = [&graph](const Matrix& probe) {
+    Tape t2;
+    Var l = t2.Leaf(probe);
+    return graph(t2, l).value().scalar();
+  };
+  EXPECT_LT(MaxGradientError(f, x, analytic), tol);
+}
+
+TEST(TapeTest, ConstantHasNoGradient) {
+  Tape tape;
+  Var c = tape.Constant(Matrix::Ones(2, 2));
+  EXPECT_FALSE(tape.requires_grad(c.id()));
+}
+
+TEST(TapeTest, LeafReceivesGradient) {
+  Tape tape;
+  Var x = tape.Leaf(Matrix::FromRows({{3.0}}));
+  Var y = ops::Square(x);
+  tape.Backward(y);
+  EXPECT_DOUBLE_EQ(x.grad().scalar(), 6.0);
+}
+
+TEST(TapeTest, GradAccumulatesAcrossUses) {
+  Tape tape;
+  Var x = tape.Leaf(Matrix::FromRows({{2.0}}));
+  Var y = ops::Add(x, x);  // y = 2x -> dy/dx = 2
+  tape.Backward(y);
+  EXPECT_DOUBLE_EQ(x.grad().scalar(), 2.0);
+}
+
+TEST(TapeTest, BackwardRequiresScalar) {
+  Tape tape;
+  Var x = tape.Leaf(Matrix::Ones(2, 2));
+  Var y = ops::Square(x);
+  EXPECT_DEATH(tape.Backward(y), "scalar");
+}
+
+TEST(TapeTest, MixingTapesDies) {
+  Tape t1, t2;
+  Var a = t1.Leaf(Matrix::Ones(1, 1));
+  Var b = t2.Leaf(Matrix::Ones(1, 1));
+  EXPECT_DEATH(ops::Add(a, b), "different tapes");
+}
+
+TEST(TapeTest, ShapeMismatchDies) {
+  Tape tape;
+  Var a = tape.Leaf(Matrix::Ones(2, 2));
+  Var b = tape.Leaf(Matrix::Ones(2, 3));
+  EXPECT_DEATH(ops::Add(a, b), "CHECK failed");
+}
+
+TEST(OpsForwardTest, AddSubMulDivValues) {
+  Tape tape;
+  Var a = tape.Constant(Matrix::FromRows({{4, 9}}));
+  Var b = tape.Constant(Matrix::FromRows({{2, 3}}));
+  EXPECT_TRUE(AllClose(ops::Add(a, b).value(), Matrix::FromRows({{6, 12}})));
+  EXPECT_TRUE(AllClose(ops::Sub(a, b).value(), Matrix::FromRows({{2, 6}})));
+  EXPECT_TRUE(AllClose(ops::Mul(a, b).value(), Matrix::FromRows({{8, 27}})));
+  EXPECT_TRUE(AllClose(ops::Div(a, b).value(), Matrix::FromRows({{2, 3}})));
+}
+
+TEST(OpsForwardTest, ActivationValues) {
+  Tape tape;
+  Var x = tape.Constant(Matrix::FromRows({{0.0, 1.0, -1.0}}));
+  const Matrix sig = ops::Sigmoid(x).value();
+  EXPECT_NEAR(sig(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(sig(0, 1), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+  const Matrix elu = ops::Elu(x).value();
+  EXPECT_DOUBLE_EQ(elu(0, 1), 1.0);
+  EXPECT_NEAR(elu(0, 2), std::expm1(-1.0), 1e-12);
+  const Matrix relu = ops::Relu(x).value();
+  EXPECT_DOUBLE_EQ(relu(0, 2), 0.0);
+  const Matrix sp = ops::Softplus(x).value();
+  EXPECT_NEAR(sp(0, 0), std::log(2.0), 1e-12);
+}
+
+TEST(OpsForwardTest, ReductionValues) {
+  Tape tape;
+  Var x = tape.Constant(Matrix::FromRows({{1, 2}, {3, 4}}));
+  EXPECT_DOUBLE_EQ(ops::SumAll(x).value().scalar(), 10.0);
+  EXPECT_DOUBLE_EQ(ops::MeanAll(x).value().scalar(), 2.5);
+  EXPECT_DOUBLE_EQ(ops::RowSum(x).value()(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(ops::ColMean(x).value()(0, 0), 2.0);
+}
+
+TEST(OpsForwardTest, SelectRowsByTreatment) {
+  Tape tape;
+  Var a = tape.Constant(Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}}));
+  Var b = tape.Constant(Matrix::FromRows({{9, 9}, {8, 8}, {7, 7}}));
+  Var sel = ops::SelectRowsByTreatment(a, b, {1, 0, 1});
+  EXPECT_TRUE(AllClose(sel.value(),
+                       Matrix::FromRows({{1, 1}, {8, 8}, {3, 3}})));
+}
+
+TEST(OpsForwardTest, SliceCols) {
+  Tape tape;
+  Var x = tape.Constant(Matrix::FromRows({{1, 2, 3}, {4, 5, 6}}));
+  Var s = ops::SliceCols(x, 1, 2);
+  EXPECT_TRUE(AllClose(s.value(), Matrix::FromRows({{2, 3}, {5, 6}})));
+}
+
+TEST(OpsForwardTest, SigmoidCrossEntropyMatchesDefinition) {
+  Tape tape;
+  Matrix labels = Matrix::FromRows({{1.0, 0.0}});
+  Var logits = tape.Constant(Matrix::FromRows({{2.0, -3.0}}));
+  Matrix loss = ops::SigmoidCrossEntropyWithLogits(logits, labels).value();
+  // -log(sigmoid(2)) and -log(1 - sigmoid(-3))
+  EXPECT_NEAR(loss(0, 0), -std::log(1.0 / (1.0 + std::exp(-2.0))), 1e-10);
+  EXPECT_NEAR(loss(0, 1), -std::log(1.0 - 1.0 / (1.0 + std::exp(3.0))),
+              1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive numerical gradient checks, one per op.
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckTest, AddThenSum) {
+  Rng rng(21);
+  Matrix x = rng.Randn(3, 4);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var other = t.Leaf(Matrix::Constant(3, 4, 0.5));
+        return ops::SumAll(ops::Add(v, other));
+      },
+      x);
+}
+
+TEST(GradCheckTest, SubMulDivComposite) {
+  Rng rng(22);
+  Matrix x = rng.Rand(3, 3, 0.5, 2.0);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var c = t.Constant(Matrix::Constant(3, 3, 1.5));
+        Var d = ops::Div(ops::Mul(v, v), ops::Add(ops::Sub(v, c),
+                  t.Constant(Matrix::Constant(3, 3, 3.0))));
+        return ops::SumAll(d);
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  Rng rng(23);
+  Matrix x = rng.Randn(1, 4);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var a = t.Constant(Rng(99).Randn(5, 4));
+        return ops::SumAll(ops::Square(ops::AddRow(a, v)));
+      },
+      x);
+}
+
+TEST(GradCheckTest, AddColBroadcast) {
+  Rng rng(24);
+  Matrix x = rng.Randn(5, 1);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var a = t.Constant(Rng(98).Randn(5, 4));
+        return ops::SumAll(ops::Square(ops::AddCol(a, v)));
+      },
+      x);
+}
+
+TEST(GradCheckTest, MulRowBroadcast) {
+  Rng rng(25);
+  Matrix x = rng.Randn(1, 4);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var a = t.Constant(Rng(97).Randn(6, 4));
+        return ops::SumAll(ops::Square(ops::MulRow(a, v)));
+      },
+      x);
+}
+
+TEST(GradCheckTest, MulColBroadcastBothSides) {
+  Rng rng(26);
+  Matrix x = rng.Randn(6, 1);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var a = t.Leaf(Rng(96).Randn(6, 3));
+        return ops::SumAll(ops::Square(ops::MulCol(a, v)));
+      },
+      x);
+}
+
+TEST(GradCheckTest, MulScalarAndDivScalar) {
+  Rng rng(27);
+  Matrix x = rng.Rand(1, 1, 0.5, 2.0);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var a = t.Constant(Rng(95).Randn(4, 2));
+        Var scaled = ops::MulScalar(a, v);
+        Var divided = ops::DivScalar(scaled, ops::AddConst(v, 1.0));
+        return ops::SumAll(ops::Square(divided));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, UnaryActivations) {
+  struct Case {
+    std::string name;
+    std::function<Var(Var)> op;
+    double lo, hi;
+  };
+  const std::vector<Case> cases = {
+      {"exp", [](Var v) { return ops::Exp(v); }, -1.0, 1.0},
+      {"log", [](Var v) { return ops::Log(v); }, 0.5, 2.0},
+      {"sqrt", [](Var v) { return ops::Sqrt(v); }, 0.5, 2.0},
+      {"square", [](Var v) { return ops::Square(v); }, -2.0, 2.0},
+      {"recip", [](Var v) { return ops::Reciprocal(v); }, 0.5, 2.0},
+      {"sigmoid", [](Var v) { return ops::Sigmoid(v); }, -3.0, 3.0},
+      {"tanh", [](Var v) { return ops::Tanh(v); }, -2.0, 2.0},
+      {"softplus", [](Var v) { return ops::Softplus(v); }, -3.0, 3.0},
+      {"elu", [](Var v) { return ops::Elu(v); }, -2.0, 2.0},
+      {"cos", [](Var v) { return ops::Cos(v); }, -3.0, 3.0},
+      {"abs", [](Var v) { return ops::Abs(v); }, 0.3, 2.0},
+      {"neg", [](Var v) { return ops::Neg(v); }, -2.0, 2.0},
+      {"addconst", [](Var v) { return ops::AddConst(v, 3.0); }, -2.0, 2.0},
+      {"scale", [](Var v) { return ops::Scale(v, -1.7); }, -2.0, 2.0},
+  };
+  int idx = 0;
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    Rng rng(100 + idx++);
+    Matrix x = rng.Rand(3, 3, c.lo, c.hi);
+    CheckGradient(
+        [&c](Tape&, Var v) { return ops::SumAll(ops::Square(c.op(v))); }, x,
+        1e-5);
+  }
+}
+
+TEST(GradCheckTest, MatmulLeft) {
+  Rng rng(30);
+  Matrix x = rng.Randn(3, 4);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var b = t.Constant(Rng(94).Randn(4, 2));
+        return ops::SumAll(ops::Square(ops::Matmul(v, b)));
+      },
+      x, 1e-4);
+}
+
+TEST(GradCheckTest, MatmulRight) {
+  Rng rng(31);
+  Matrix x = rng.Randn(4, 2);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var a = t.Constant(Rng(93).Randn(3, 4));
+        return ops::SumAll(ops::Square(ops::Matmul(a, v)));
+      },
+      x, 1e-4);
+}
+
+TEST(GradCheckTest, Transpose) {
+  Rng rng(32);
+  Matrix x = rng.Randn(3, 5);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var b = t.Constant(Rng(92).Randn(3, 2));
+        return ops::SumAll(ops::Square(ops::Matmul(ops::Transpose(v), b)));
+      },
+      x, 1e-4);
+}
+
+TEST(GradCheckTest, Reductions) {
+  Rng rng(33);
+  Matrix x = rng.Randn(4, 3);
+  CheckGradient([](Tape&, Var v) { return ops::SumAll(v); }, x);
+  CheckGradient([](Tape&, Var v) { return ops::MeanAll(v); }, x);
+  CheckGradient(
+      [](Tape&, Var v) { return ops::SumAll(ops::Square(ops::RowSum(v))); },
+      x, 1e-5);
+  CheckGradient(
+      [](Tape&, Var v) { return ops::SumAll(ops::Square(ops::ColSum(v))); },
+      x, 1e-5);
+  CheckGradient(
+      [](Tape&, Var v) { return ops::SumAll(ops::Square(ops::RowMean(v))); },
+      x, 1e-5);
+  CheckGradient(
+      [](Tape&, Var v) { return ops::SumAll(ops::Square(ops::ColMean(v))); },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, GatherRows) {
+  Rng rng(34);
+  Matrix x = rng.Randn(5, 3);
+  std::vector<int64_t> idx = {0, 0, 3, 4};
+  CheckGradient(
+      [&idx](Tape&, Var v) {
+        return ops::SumAll(ops::Square(ops::GatherRows(v, idx)));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, ConcatCols) {
+  Rng rng(35);
+  Matrix x = rng.Randn(3, 2);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var b = t.Leaf(Rng(91).Randn(3, 4));
+        return ops::SumAll(ops::Square(ops::ConcatCols(v, b)));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, SelectRowsByTreatment) {
+  Rng rng(36);
+  Matrix x = rng.Randn(4, 3);
+  const std::vector<int> t_assign = {1, 0, 1, 0};
+  CheckGradient(
+      [&t_assign](Tape& t, Var v) {
+        Var b = t.Leaf(Rng(90).Randn(4, 3));
+        return ops::SumAll(
+            ops::Square(ops::SelectRowsByTreatment(v, b, t_assign)));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, SliceCols) {
+  Rng rng(37);
+  Matrix x = rng.Randn(3, 5);
+  CheckGradient(
+      [](Tape&, Var v) {
+        return ops::SumAll(ops::Square(ops::SliceCols(v, 1, 3)));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, SigmoidCrossEntropy) {
+  Rng rng(38);
+  Matrix x = rng.Randn(4, 1);
+  Matrix labels = Matrix::FromRows({{1}, {0}, {1}, {0}});
+  CheckGradient(
+      [&labels](Tape&, Var v) {
+        return ops::SumAll(ops::SigmoidCrossEntropyWithLogits(v, labels));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, PairwiseSqDistBothArguments) {
+  Rng rng(39);
+  Matrix x = rng.Randn(3, 2);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var b = t.Leaf(Rng(89).Randn(4, 2));
+        return ops::SumAll(ops::Square(ops::PairwiseSqDist(v, b)));
+      },
+      x, 1e-4);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var a = t.Leaf(Rng(88).Randn(4, 2));
+        return ops::SumAll(ops::Square(ops::PairwiseSqDist(a, v)));
+      },
+      x, 1e-4);
+}
+
+TEST(GradCheckTest, NormalizeRows) {
+  Rng rng(40);
+  Matrix x = rng.Randn(4, 3);
+  CheckGradient(
+      [](Tape&, Var v) {
+        return ops::SumAll(ops::Square(ops::NormalizeRows(v)));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, WeightedMean) {
+  Rng rng(41);
+  Matrix w = rng.Rand(5, 1, 0.5, 1.5);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var values = t.Constant(Rng(87).Randn(5, 1));
+        return ops::WeightedMean(values, v);
+      },
+      w, 1e-5);
+}
+
+TEST(GradCheckTest, DeepCompositeNetworkLikeGraph) {
+  // A miniature 2-layer network with ELU and a weighted BCE loss; checks
+  // end-to-end gradient flow through the op set used by real training.
+  Rng rng(42);
+  Matrix w1 = rng.Randn(3, 4, 0.0, 0.5);
+  Matrix features = Rng(86).Randn(6, 3);
+  Matrix labels(6, 1);
+  for (int i = 0; i < 6; ++i) labels(i, 0) = i % 2;
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        Var x = t.Constant(features);
+        Var h = ops::Elu(ops::Matmul(x, v));
+        Var w2 = t.Constant(Rng(85).Randn(4, 1));
+        Var logits = ops::Matmul(h, w2);
+        Var losses = ops::SigmoidCrossEntropyWithLogits(logits, labels);
+        Var weights = t.Constant(Rng(84).Rand(6, 1, 0.5, 1.5));
+        return ops::WeightedMean(losses, weights);
+      },
+      w1, 1e-5);
+}
+
+// Parameterized sweep: gradients hold across shapes for core binary ops.
+class BinaryOpShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BinaryOpShapeSweep, AddSubMulGradients) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(50 + rows * 7 + cols);
+  Matrix x = rng.Rand(rows, cols, 0.5, 1.5);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var c = t.Constant(Matrix::Constant(v.rows(), v.cols(), 0.7));
+        Var y = ops::Mul(ops::Add(v, c), ops::Sub(v, c));
+        return ops::SumAll(ops::Square(y));
+      },
+      x, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BinaryOpShapeSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 5),
+                                            ::testing::Values(1, 3, 8)));
+
+}  // namespace
+}  // namespace sbrl

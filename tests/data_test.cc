@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "data/causal_dataset.h"
+#include "data/csv.h"
+#include "data/ihdp.h"
+#include "data/sampling.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/twins.h"
+#include "stats/ipm.h"
+#include "tensor/linalg.h"
+
+namespace sbrl {
+namespace {
+
+CausalDataset TinyDataset() {
+  CausalDataset d;
+  d.x = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  d.t = {1, 0, 1, 0};
+  d.y = Matrix::ColumnVector({1, 0, 1, 1});
+  d.mu0 = Matrix::ColumnVector({0, 0, 0, 1});
+  d.mu1 = Matrix::ColumnVector({1, 1, 1, 1});
+  return d;
+}
+
+TEST(CausalDatasetTest, IndicesSplitByTreatment) {
+  CausalDataset d = TinyDataset();
+  EXPECT_EQ(d.TreatedIndices(), (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(d.ControlIndices(), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(CausalDatasetTest, TrueIteAndAte) {
+  CausalDataset d = TinyDataset();
+  EXPECT_EQ(d.TrueIte(), (std::vector<double>{1, 1, 1, 0}));
+  EXPECT_DOUBLE_EQ(d.TrueAte(), 0.75);
+}
+
+TEST(CausalDatasetTest, CounterfactualOutcomes) {
+  CausalDataset d = TinyDataset();
+  // Treated units report mu0; control units report mu1.
+  EXPECT_EQ(d.CounterfactualOutcomes(), (std::vector<double>{0, 1, 0, 1}));
+}
+
+TEST(CausalDatasetTest, SubsetPreservesAlignment) {
+  CausalDataset d = TinyDataset();
+  CausalDataset s = d.Subset({2, 0});
+  EXPECT_EQ(s.n(), 2);
+  EXPECT_EQ(s.x(0, 0), 5);
+  EXPECT_EQ(s.t[0], 1);
+  EXPECT_EQ(s.y(1, 0), 1);
+  EXPECT_EQ(s.mu0(0, 0), 0);
+}
+
+TEST(CausalDatasetTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(TinyDataset().Validate().ok());
+}
+
+TEST(CausalDatasetTest, ValidateRejectsEmptyAndOneArm) {
+  CausalDataset empty;
+  EXPECT_EQ(empty.Validate().code(), StatusCode::kInvalidArgument);
+  CausalDataset d = TinyDataset();
+  d.t = {1, 1, 1, 1};
+  EXPECT_EQ(d.Validate().code(), StatusCode::kFailedPrecondition);
+  d.t = {0, 0, 0, 0};
+  EXPECT_EQ(d.Validate().code(), StatusCode::kFailedPrecondition);
+  d.t = {0, 1, 2, 0};
+  EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CausalDatasetTest, ValidateRejectsShapeMismatches) {
+  CausalDataset d = TinyDataset();
+  d.y = Matrix(3, 1);
+  EXPECT_FALSE(d.Validate().ok());
+  d = TinyDataset();
+  d.mu1 = Matrix(4, 2);
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(SamplingTest, LogWeightMatchesClosedForm) {
+  // One unstable value, rho = 2.5, ITE = 1, x = 0.6:
+  // D = |1 - 0.6| = 0.4, log Pr = -10 * 0.4 * ln 2.5.
+  const double lw = BiasedSelectionLogWeight(1.0, {0.6}, 2.5);
+  EXPECT_NEAR(lw, -4.0 * std::log(2.5), 1e-12);
+}
+
+TEST(SamplingTest, NegativeRhoFlipsSign) {
+  // rho < 0: D = |ITE + x|. Perfect anti-alignment gives weight 1.
+  const double lw = BiasedSelectionLogWeight(1.0, {-1.0}, -2.5);
+  EXPECT_NEAR(lw, 0.0, 1e-12);
+}
+
+TEST(SamplingTest, RhoInsideUnitIntervalDies) {
+  EXPECT_DEATH(BiasedSelectionLogWeight(0.0, {0.0}, 0.5), "rho");
+}
+
+TEST(SamplingTest, WeightedSampleSelectsHighWeightItems) {
+  Rng rng(1);
+  // Item 0 has overwhelmingly larger weight; it should almost always be
+  // chosen when sampling 1 of 3.
+  std::vector<double> log_w = {0.0, -20.0, -20.0};
+  int hits = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    auto picked = WeightedSampleWithoutReplacement(log_w, 1, rng);
+    if (picked[0] == 0) ++hits;
+  }
+  EXPECT_GT(hits, 195);
+}
+
+TEST(SamplingTest, WeightedSampleReturnsDistinctIndices) {
+  Rng rng(2);
+  std::vector<double> log_w(10, 0.0);
+  auto picked = WeightedSampleWithoutReplacement(log_w, 10, rng);
+  std::sort(picked.begin(), picked.end());
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(picked[static_cast<size_t>(i)], i);
+}
+
+TEST(SamplingTest, AcceptWithLogProbExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(AcceptWithLogProb(-800.0, rng));
+  int accepts = 0;
+  for (int i = 0; i < 100; ++i) accepts += AcceptWithLogProb(0.0, rng);
+  EXPECT_EQ(accepts, 100);
+}
+
+TEST(SplitTest, IndicesPartitionCompletely) {
+  Rng rng(4);
+  auto [a, b] = SplitIndices(100, 0.7, rng);
+  EXPECT_EQ(a.size(), 70u);
+  EXPECT_EQ(b.size(), 30u);
+  std::vector<int64_t> all;
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(all[static_cast<size_t>(i)], i);
+}
+
+TEST(SplitTest, ExtremeFractionStillLeavesBothParts) {
+  Rng rng(5);
+  auto [a, b] = SplitIndices(10, 0.999, rng);
+  EXPECT_GE(b.size(), 1u);
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(SyntheticModelTest, DimensionsAndBinaryOutcomes) {
+  SyntheticDims dims;  // 8/8/8/2
+  SyntheticModel model(dims, 42);
+  CausalDataset data = model.SampleUnbiased(500, 7);
+  EXPECT_EQ(data.n(), 500);
+  EXPECT_EQ(data.dim(), 26);
+  EXPECT_TRUE(data.Validate().ok());
+  for (int64_t i = 0; i < data.n(); ++i) {
+    EXPECT_TRUE(data.mu0(i, 0) == 0.0 || data.mu0(i, 0) == 1.0);
+    EXPECT_TRUE(data.mu1(i, 0) == 0.0 || data.mu1(i, 0) == 1.0);
+    const double expected =
+        data.t[static_cast<size_t>(i)] == 1 ? data.mu1(i, 0) : data.mu0(i, 0);
+    EXPECT_EQ(data.y(i, 0), expected);
+  }
+}
+
+TEST(SyntheticModelTest, OutcomeRatesAreNonDegenerate) {
+  SyntheticModel model(SyntheticDims{}, 43);
+  CausalDataset data = model.SampleUnbiased(2000, 11);
+  const double rate0 = data.mu0.Mean();
+  const double rate1 = data.mu1.Mean();
+  EXPECT_GT(rate0, 0.2);
+  EXPECT_LT(rate0, 0.8);
+  EXPECT_GT(rate1, 0.2);
+  EXPECT_LT(rate1, 0.8);
+}
+
+TEST(SyntheticModelTest, SelectionBiasExistsInTreatmentAssignment) {
+  // Confounder means should differ between arms (imbalanced treatment
+  // assignment = paper challenge C1).
+  SyntheticModel model(SyntheticDims{}, 44);
+  CausalDataset data = model.SampleUnbiased(4000, 13);
+  Matrix x_treated = GatherRows(data.x, data.TreatedIndices());
+  Matrix x_control = GatherRows(data.x, data.ControlIndices());
+  const double mmd = LinearMmd2(x_treated, x_control);
+  EXPECT_GT(mmd, 0.05);
+}
+
+TEST(SyntheticModelTest, DeterministicGivenSeeds) {
+  SyntheticModel m1(SyntheticDims{}, 45);
+  SyntheticModel m2(SyntheticDims{}, 45);
+  CausalDataset a = m1.SampleEnvironment(200, 2.5, 99);
+  CausalDataset b = m2.SampleEnvironment(200, 2.5, 99);
+  EXPECT_TRUE(AllClose(a.x, b.x, 0.0));
+  EXPECT_EQ(a.t, b.t);
+}
+
+TEST(SyntheticModelTest, BiasRateInducesIteUnstableCorrelation) {
+  // Under rho > 1, selection keeps units whose unstable features align
+  // with the ITE; under rho < -1 the correlation flips sign.
+  SyntheticModel model(SyntheticDims{}, 46);
+  auto correlation_with_ite = [&](double rho) {
+    CausalDataset env = model.SampleEnvironment(1500, rho, 17);
+    const auto ite = env.TrueIte();
+    const int64_t v0 = model.unstable_begin();
+    double mean_x = 0.0, mean_i = 0.0;
+    for (int64_t i = 0; i < env.n(); ++i) {
+      mean_x += env.x(i, v0);
+      mean_i += ite[static_cast<size_t>(i)];
+    }
+    mean_x /= static_cast<double>(env.n());
+    mean_i /= static_cast<double>(env.n());
+    double cov = 0.0, var_x = 0.0, var_i = 0.0;
+    for (int64_t i = 0; i < env.n(); ++i) {
+      const double dx = env.x(i, v0) - mean_x;
+      const double di = ite[static_cast<size_t>(i)] - mean_i;
+      cov += dx * di;
+      var_x += dx * dx;
+      var_i += di * di;
+    }
+    return cov / std::sqrt(var_x * var_i);
+  };
+  const double corr_pos = correlation_with_ite(2.5);
+  const double corr_neg = correlation_with_ite(-2.5);
+  EXPECT_GT(corr_pos, 0.15);
+  EXPECT_LT(corr_neg, -0.15);
+}
+
+TEST(SyntheticModelTest, DistributionShiftGrowsWithRhoGap) {
+  // The covariate distribution of rho = -2.5 should differ more from
+  // the rho = 2.5 training environment than rho = 1.3 does.
+  SyntheticModel model(SyntheticDims{}, 47);
+  CausalDataset train = model.SampleEnvironment(1200, 2.5, 21);
+  CausalDataset near = model.SampleEnvironment(1200, 1.3, 22);
+  CausalDataset far = model.SampleEnvironment(1200, -2.5, 23);
+  Rng proj_rng(24);
+  const double d_near = SlicedWasserstein1(train.x, near.x, 24, proj_rng);
+  Rng proj_rng2(24);
+  const double d_far = SlicedWasserstein1(train.x, far.x, 24, proj_rng2);
+  EXPECT_GT(d_far, d_near);
+}
+
+TEST(SyntheticModelTest, Syn16VariantHasLargerDimension) {
+  SyntheticDims dims;
+  dims.m_i = dims.m_c = dims.m_a = 16;
+  dims.m_v = 2;
+  SyntheticModel model(dims, 48);
+  CausalDataset data = model.SampleUnbiased(100, 5);
+  EXPECT_EQ(data.dim(), 50);
+  EXPECT_EQ(model.unstable_begin(), 48);
+}
+
+TEST(TwinsTest, SplitSizesMatchConfiguration) {
+  TwinsConfig config;
+  config.n = 1000;  // scaled down for test speed
+  RealWorldSplits splits = MakeTwinsReplication(config, 7);
+  EXPECT_EQ(splits.test.n(), 200);
+  EXPECT_EQ(splits.train.n(), 560);  // 70% of 800
+  EXPECT_EQ(splits.valid.n(), 240);
+  EXPECT_TRUE(splits.train.Validate().ok());
+  EXPECT_TRUE(splits.valid.Validate().ok());
+  EXPECT_TRUE(splits.test.Validate().ok());
+  EXPECT_EQ(splits.train.dim(), 43);
+}
+
+TEST(TwinsTest, MortalityRatesAreRealistic) {
+  TwinsConfig config;
+  config.n = 3000;
+  RealWorldSplits splits = MakeTwinsReplication(config, 8);
+  // Pool train+valid: lighter-twin mortality higher than heavier-twin.
+  const double m0 = splits.train.mu0.Mean();
+  const double m1 = splits.train.mu1.Mean();
+  EXPECT_GT(m0, 0.05);
+  EXPECT_LT(m0, 0.45);
+  EXPECT_LT(m1, m0);  // heavier twin survives more
+}
+
+TEST(TwinsTest, TestSplitIsShifted) {
+  TwinsConfig config;
+  config.n = 2500;
+  RealWorldSplits splits = MakeTwinsReplication(config, 9);
+  // The unstable block (last 5 columns) should show a mean shift
+  // between train and the biased test environment.
+  const int64_t v0 = config.real_covariates + config.instruments;
+  double shift = 0.0;
+  for (int64_t v = 0; v < config.unstable; ++v) {
+    shift += std::abs(ColMean(splits.test.x)(0, v0 + v) -
+                      ColMean(splits.train.x)(0, v0 + v));
+  }
+  EXPECT_GT(shift, 0.1);
+}
+
+TEST(IhdpTest, ShapesTreatedFractionAndContinuousOutcome) {
+  IhdpConfig config;
+  RealWorldSplits splits = MakeIhdpReplication(config, 10);
+  const int64_t total =
+      splits.train.n() + splits.valid.n() + splits.test.n();
+  EXPECT_EQ(total, 747);
+  EXPECT_EQ(splits.test.n(), 75);
+  EXPECT_EQ(splits.train.dim(), 25);
+  EXPECT_FALSE(splits.train.binary_outcome);
+  int64_t treated = 0;
+  for (int v : splits.train.t) treated += v;
+  for (int v : splits.valid.t) treated += v;
+  for (int v : splits.test.t) treated += v;
+  const double frac = static_cast<double>(treated) / 747.0;
+  EXPECT_NEAR(frac, 139.0 / 747.0, 0.06);
+}
+
+TEST(IhdpTest, SampleAteIsFourOnFullData) {
+  IhdpConfig config;
+  RealWorldSplits splits = MakeIhdpReplication(config, 11);
+  double sum_ite = 0.0;
+  int64_t n = 0;
+  for (const CausalDataset* d :
+       {&splits.train, &splits.valid, &splits.test}) {
+    for (double ite : d->TrueIte()) {
+      sum_ite += ite;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum_ite / static_cast<double>(n), 4.0, 1e-9);
+}
+
+TEST(IhdpTest, EffectsAreHeterogeneous) {
+  IhdpConfig config;
+  RealWorldSplits splits = MakeIhdpReplication(config, 12);
+  const auto ite = splits.train.TrueIte();
+  double mean = std::accumulate(ite.begin(), ite.end(), 0.0) /
+                static_cast<double>(ite.size());
+  double var = 0.0;
+  for (double v : ite) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(ite.size());
+  EXPECT_GT(var, 0.1);  // non-constant treatment effect
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  CausalDataset d = TinyDataset();
+  d.binary_outcome = true;
+  const std::string path = "/tmp/sbrl_csv_roundtrip.csv";
+  ASSERT_TRUE(SaveCausalDatasetCsv(d, path).ok());
+  auto loaded = LoadCausalDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(AllClose(loaded->x, d.x, 0.0));
+  EXPECT_EQ(loaded->t, d.t);
+  EXPECT_TRUE(AllClose(loaded->y, d.y, 0.0));
+  EXPECT_TRUE(AllClose(loaded->mu0, d.mu0, 0.0));
+  EXPECT_TRUE(AllClose(loaded->mu1, d.mu1, 0.0));
+  EXPECT_TRUE(loaded->binary_outcome);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ContinuousFlagRoundTrips) {
+  CausalDataset d = TinyDataset();
+  d.binary_outcome = false;
+  const std::string path = "/tmp/sbrl_csv_cont.csv";
+  ASSERT_TRUE(SaveCausalDatasetCsv(d, path).ok());
+  auto loaded = LoadCausalDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->binary_outcome);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileReturnsNotFound) {
+  auto result = LoadCausalDatasetCsv("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, MalformedContentRejected) {
+  const std::string path = "/tmp/sbrl_csv_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "x0,t,y,mu0,mu1\n";
+    out << "1.0,0,0.5,0.0\n";  // one field short
+  }
+  auto result = LoadCausalDatasetCsv(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonBinaryTreatmentRejected) {
+  const std::string path = "/tmp/sbrl_csv_badt.csv";
+  {
+    std::ofstream out(path);
+    out << "x0,t,y,mu0,mu1\n";
+    out << "1.0,2,0.5,0.0,1.0\n";
+  }
+  auto result = LoadCausalDatasetCsv(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sbrl

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/table_printer.h"
+
+namespace sbrl {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersAndRows) {
+  TablePrinter table({"Method", "PEHE"});
+  table.AddRow({"CFR", "0.5"});
+  table.AddRow({"CFR+SBRL-HAP", "0.4"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("CFR+SBRL-HAP"), std::string::npos);
+  EXPECT_NE(out.find("0.4"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnWidthFitsLongestCell) {
+  TablePrinter table({"A"});
+  table.AddRow({"a-very-long-cell-value"});
+  std::ostringstream os;
+  table.Print(os);
+  // Every rendered line should have the same length.
+  std::istringstream lines(os.str());
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, SeparatorsRenderAsLines) {
+  TablePrinter table({"x"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::ostringstream os;
+  table.Print(os);
+  // header line + top/bottom + separator = at least 4 dashed lines.
+  int dashed = 0;
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++dashed;
+  }
+  EXPECT_GE(dashed, 4);
+}
+
+TEST(TablePrinterTest, ArityMismatchDies) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace sbrl

@@ -1,0 +1,135 @@
+// Tests for the paper's future-work extension: OOD-level measurement
+// and ID/OOD-interpolated prediction (paper Sec. VI, "One potential
+// solution ... is to incorporate a module that measures the OOD level
+// between the target domain and the source domain").
+
+#include <gtest/gtest.h>
+
+#include "core/blended_estimator.h"
+#include "core/ood_detector.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "stats/metrics.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace {
+
+TEST(OodDetectorTest, RejectsTinySourceAndBadOptions) {
+  Rng rng(1);
+  EXPECT_FALSE(OodLevelDetector::Fit(rng.Randn(5, 3)).ok());
+  OodLevelDetector::Options options;
+  options.calibration_rounds = 1;
+  EXPECT_FALSE(OodLevelDetector::Fit(rng.Randn(100, 3), options).ok());
+  options = OodLevelDetector::Options();
+  options.projections = 0;
+  EXPECT_FALSE(OodLevelDetector::Fit(rng.Randn(100, 3), options).ok());
+}
+
+TEST(OodDetectorTest, InDistributionTargetScoresNearZero) {
+  Rng rng(2);
+  Matrix source = rng.Randn(600, 4);
+  auto detector = OodLevelDetector::Fit(source);
+  ASSERT_TRUE(detector.ok());
+  Matrix target = rng.Randn(300, 4);  // same distribution
+  EXPECT_LT(detector->LevelOf(target), 0.35);
+}
+
+TEST(OodDetectorTest, ShiftedTargetScoresHigh) {
+  Rng rng(3);
+  Matrix source = rng.Randn(600, 4);
+  auto detector = OodLevelDetector::Fit(source);
+  ASSERT_TRUE(detector.ok());
+  Matrix shifted = rng.Randn(300, 4, /*mean=*/3.0, /*stddev=*/1.0);
+  EXPECT_GT(detector->LevelOf(shifted), 0.8);
+}
+
+TEST(OodDetectorTest, LevelIsMonotoneInShiftMagnitude) {
+  Rng rng(4);
+  Matrix source = rng.Randn(500, 3);
+  auto detector = OodLevelDetector::Fit(source);
+  ASSERT_TRUE(detector.ok());
+  double previous = -1.0;
+  for (double shift : {0.0, 1.0, 2.0, 4.0}) {
+    Matrix target = rng.Randn(250, 3, shift, 1.0);
+    const double level = detector->LevelOf(target);
+    EXPECT_GE(level, previous - 0.05);  // allow sampling slack
+    EXPECT_GE(level, 0.0);
+    EXPECT_LE(level, 1.0);
+    previous = level;
+  }
+}
+
+TEST(OodDetectorTest, DimensionMismatchDies) {
+  Rng rng(5);
+  auto detector = OodLevelDetector::Fit(rng.Randn(100, 3));
+  ASSERT_TRUE(detector.ok());
+  EXPECT_DEATH(detector->LevelOf(rng.Randn(10, 4)), "CHECK failed");
+}
+
+TEST(BlendedEstimatorTest, RejectsVanillaFramework) {
+  EstimatorConfig config;
+  config.framework = FrameworkKind::kVanilla;
+  auto blended = BlendedHteEstimator::Create(config);
+  EXPECT_FALSE(blended.ok());
+  EXPECT_EQ(blended.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlendedEstimatorTest, BlendsBetweenMembersByOodLevel) {
+  SyntheticModel model(SyntheticDims{}, 301);
+  CausalDataset pool = model.SampleEnvironment(700, 2.5, 302);
+  Rng split_rng(303);
+  TrainValid tv = SplitTrainValid(pool, 0.75, split_rng);
+  CausalDataset id_test = model.SampleEnvironment(250, 2.5, 304);
+  CausalDataset ood_test = model.SampleEnvironment(250, -2.5, 305);
+
+  EstimatorConfig config;
+  config.backbone = BackboneKind::kCfr;
+  config.framework = FrameworkKind::kSbrlHap;
+  config.network.rep_layers = 2;
+  config.network.rep_width = 24;
+  config.network.head_layers = 2;
+  config.network.head_width = 12;
+  config.train.iterations = 100;
+  config.train.eval_every = 0;
+  config.train.seed = 306;
+  config.sbrl.hsic_pair_budget = 16;
+
+  auto blended = BlendedHteEstimator::Create(config);
+  ASSERT_TRUE(blended.ok());
+  ASSERT_TRUE(blended->Fit(tv.train, &tv.valid).ok());
+
+  // The shifted environment must register a higher OOD level than the
+  // in-distribution one.
+  const double level_id = blended->OodLevel(id_test.x);
+  const double level_ood = blended->OodLevel(ood_test.x);
+  EXPECT_GT(level_ood, level_id);
+
+  // Blended prediction is a convex combination: it must lie between
+  // the two members' predictions elementwise.
+  const auto ite_b = blended->PredictIte(ood_test.x);
+  const auto ite_v = blended->vanilla().PredictIte(ood_test.x);
+  const auto ite_s = blended->stable().PredictIte(ood_test.x);
+  for (size_t i = 0; i < ite_b.size(); ++i) {
+    const double lo = std::min(ite_v[i], ite_s[i]) - 1e-12;
+    const double hi = std::max(ite_v[i], ite_s[i]) + 1e-12;
+    ASSERT_GE(ite_b[i], lo);
+    ASSERT_LE(ite_b[i], hi);
+  }
+
+  // And the ATE is finite / sane.
+  const double ate = blended->PredictAte(ood_test.x);
+  EXPECT_GE(ate, -1.0);
+  EXPECT_LE(ate, 1.0);
+}
+
+TEST(BlendedEstimatorTest, OodLevelBeforeFitDies) {
+  EstimatorConfig config;
+  config.framework = FrameworkKind::kSbrl;
+  auto blended = BlendedHteEstimator::Create(config);
+  ASSERT_TRUE(blended.ok());
+  EXPECT_DEATH(blended->OodLevel(Matrix::Ones(5, 3)), "Fit");
+}
+
+}  // namespace
+}  // namespace sbrl
