@@ -1,0 +1,98 @@
+// Microbenchmark of the dense-linalg hot kernels: the tiled parallel
+// Matmul against the seed repo's naive triple-loop kernel
+// (MatmulReference), plus the transpose-product kernels used by every
+// backward pass. The 256^3 case is this PR's acceptance gate: the tiled
+// kernel must beat the seed kernel even single-threaded
+// (SBRL_NUM_THREADS=1).
+//
+// Timings are written to BENCH_matmul_micro.json; the tiled kernel's
+// result is CHECKed AllClose against the reference on every shape, so
+// this bench doubles as an integration check of the blocked kernels.
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "harness.h"
+#include "tensor/linalg.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace bench {
+namespace {
+
+struct Shape {
+  int64_t n, k, m;
+};
+
+// Prevents the timed loop from being optimized away.
+volatile double g_sink = 0.0;
+
+double TimeOp(const std::function<Matrix()>& op, int reps, Matrix* witness) {
+  *witness = op();  // warm-up, kept for the correctness check
+  Timer t;
+  for (int r = 0; r < reps; ++r) {
+    Matrix out = op();
+    g_sink = g_sink + out.data()[0];
+  }
+  return t.ElapsedSeconds() / reps;
+}
+
+int Main() {
+  Scale scale = GetScale();
+  PrintBanner("bench_matmul_micro: tiled kernels vs seed reference",
+              "engineering microbenchmark (not a paper artifact)", scale);
+  BenchJsonWriter json("matmul_micro", scale);
+
+  const std::vector<Shape> shapes = scale.name == "smoke"
+                                        ? std::vector<Shape>{{64, 64, 64}}
+                                        : std::vector<Shape>{{256, 256, 256},
+                                                             {1000, 25, 64},
+                                                             {512, 512, 32}};
+  const int reps = scale.name == "smoke" ? 3 : 10;
+  Rng rng(7);
+  for (const Shape& s : shapes) {
+    Matrix a = rng.Randn(s.n, s.k);
+    Matrix b = rng.Randn(s.k, s.m);
+    const std::string tag = std::to_string(s.n) + "x" + std::to_string(s.k) +
+                            "x" + std::to_string(s.m);
+
+    Matrix ref_out, tiled_out;
+    const double ref_s =
+        TimeOp([&] { return MatmulReference(a, b); }, reps, &ref_out);
+    const double tiled_s = TimeOp([&] { return Matmul(a, b); }, reps,
+                                  &tiled_out);
+    SBRL_CHECK(AllClose(ref_out, tiled_out, 1e-9))
+        << "tiled Matmul diverges from reference at " << tag;
+    json.Record("matmul_reference/" + tag, ref_s);
+    json.Record("matmul_tiled/" + tag, tiled_s);
+
+    Matrix bt = Transpose(b);
+    Matrix witness;
+    json.Record("matmul_trans_b/" + tag,
+                TimeOp([&] { return MatmulTransB(a, bt); }, reps, &witness));
+    SBRL_CHECK(AllClose(witness, tiled_out, 1e-9))
+        << "MatmulTransB diverges at " << tag;
+    Matrix at = Transpose(a);
+    json.Record("matmul_trans_a/" + tag,
+                TimeOp([&] { return MatmulTransA(at, b); }, reps, &witness));
+    SBRL_CHECK(AllClose(witness, tiled_out, 1e-9))
+        << "MatmulTransA diverges at " << tag;
+
+    std::cout << tag << ": reference " << ref_s * 1e3 << " ms, tiled "
+              << tiled_s * 1e3 << " ms ("
+              << (tiled_s > 0 ? ref_s / tiled_s : 0.0) << "x, "
+              << ThreadPool::GlobalParallelism() << " thread(s))\n";
+  }
+  std::cout << "wrote " << json.WriteOrDie() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sbrl
+
+int main() { return sbrl::bench::Main(); }

@@ -3,15 +3,26 @@
 // measurement loop. The reproduced artifact is the cost ordering:
 // vanilla < +SBRL < +SBRL-HAP, with roughly 2x / 3x multipliers for
 // TARNet and CFR and a smaller relative overhead for DeR-CFR.
+//
+// Each method's wall-clock fit time is also recorded through
+// BenchJsonWriter and written to BENCH_table6.json (directory
+// overridable via SBRL_BENCH_JSON_DIR) so the perf trajectory is
+// machine-readable across PRs. The writer CHECKs every timing is
+// finite, which the ctest smoke perf guard relies on.
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "common/timer.h"
 #include "data/ihdp.h"
 #include "harness.h"
 
 namespace sbrl {
 namespace bench {
 namespace {
+
+BenchJsonWriter* g_json = nullptr;
 
 void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
   Scale scale = GetScale();
@@ -25,7 +36,11 @@ void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
     config.train.eval_every = 0;  // measure the raw optimization loop
     auto estimator = HteEstimator::Create(config);
     SBRL_CHECK(estimator.ok());
+    Timer fit_timer;
     SBRL_CHECK(estimator->Fit(splits.train, &splits.valid).ok());
+    if (g_json != nullptr) {
+      g_json->Record(spec.name(), fit_timer.ElapsedSeconds());
+    }
     benchmark::DoNotOptimize(estimator->PredictAte(splits.test.x));
   }
   state.SetLabel(spec.name());
@@ -48,9 +63,14 @@ void RegisterAll() {
 }  // namespace sbrl
 
 int main(int argc, char** argv) {
+  sbrl::bench::BenchJsonWriter json("table6", sbrl::bench::GetScale());
+  sbrl::bench::g_json = &json;
   sbrl::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  sbrl::bench::g_json = nullptr;
+  SBRL_CHECK_GT(json.entry_count(), 0) << "no benchmarks ran";
+  std::cerr << "wrote " << json.WriteOrDie() << "\n";
   return 0;
 }

@@ -1,9 +1,14 @@
 #include "harness.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <utility>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "data/split.h"
 
 namespace sbrl {
@@ -156,6 +161,43 @@ void PrintBanner(const std::string& experiment,
                "environments are the reproduced artifact.\n"
             << "=============================================================="
                "==\n";
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_id, const Scale& scale)
+    : bench_id_(std::move(bench_id)), scale_name_(scale.name) {}
+
+void BenchJsonWriter::Record(const std::string& name, double wall_seconds) {
+  entries_.push_back({name, wall_seconds});
+}
+
+std::string BenchJsonWriter::WriteOrDie() const {
+  for (const Entry& e : entries_) {
+    SBRL_CHECK(std::isfinite(e.wall_seconds) && e.wall_seconds >= 0.0)
+        << "non-finite or negative timing for '" << e.name
+        << "': " << e.wall_seconds;
+  }
+  const char* dir = std::getenv("SBRL_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/BENCH_" + bench_id_ + ".json"
+                         : "BENCH_" + bench_id_ + ".json";
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"" << bench_id_ << "\",\n"
+     << "  \"scale\": \"" << scale_name_ << "\",\n"
+     << "  \"threads\": " << ThreadPool::GlobalParallelism() << ",\n"
+     << "  \"entries\": [\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    os << "    {\"name\": \"" << entries_[i].name << "\", \"wall_seconds\": "
+       << FormatDouble(entries_[i].wall_seconds, 6) << "}"
+       << (i + 1 < entries_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::ofstream out(path);
+  SBRL_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out << os.str();
+  out.flush();
+  SBRL_CHECK(out.good()) << "failed writing " << path;
+  return path;
 }
 
 }  // namespace bench

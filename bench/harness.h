@@ -62,6 +62,38 @@ std::string CellAte(const std::vector<EvalResult>& runs);
 void PrintBanner(const std::string& experiment,
                  const std::string& paper_artifact, const Scale& scale);
 
+/// Machine-readable timing output: collects named wall-clock timings and
+/// writes them as BENCH_<bench_id>.json so the perf trajectory of every
+/// bench is tracked across PRs. The output directory defaults to the
+/// working directory and can be overridden with SBRL_BENCH_JSON_DIR.
+///
+/// Every recorded timing is CHECKed finite and non-negative at write
+/// time, which is what the ctest smoke perf guard relies on to fail on
+/// broken timing paths.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench_id, const Scale& scale);
+
+  /// Adds one timing entry (seconds of wall clock).
+  void Record(const std::string& name, double wall_seconds);
+
+  /// Validates all entries and writes BENCH_<bench_id>.json, returning
+  /// the path written. CHECK-fails on non-finite timings or I/O errors.
+  std::string WriteOrDie() const;
+
+  int64_t entry_count() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    std::string name;
+    double wall_seconds;
+  };
+
+  std::string bench_id_;
+  std::string scale_name_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace bench
 }  // namespace sbrl
 

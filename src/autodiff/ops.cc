@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <functional>
+#include <utility>
 
 #include "tensor/linalg.h"
 
@@ -18,21 +19,26 @@ Tape* SameTape(Var a, Var b) {
 }
 
 /// Generic unary elementwise op: y = f(x), dy/dx supplied as a function
-/// of (x, y) so implementations can reuse the forward value.
-Var UnaryOp(Var a, const std::function<double(double)>& f,
-            const std::function<double(double, double)>& df) {
+/// of (x, y) so implementations can reuse the forward value. Forward
+/// output and backward temporary both come from the tape's buffer pool.
+/// Templated on the callables (every instantiation lives in this TU) so
+/// the per-element calls inline instead of going through std::function.
+template <typename F, typename DF>
+Var UnaryOp(Var a, F f, DF df) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
-  Matrix out = Map(a.value(), f);
+  const Matrix& av = a.value();
+  Matrix out = t->NewZero(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) out[i] = f(av[i]);
   const int ai = a.id();
   const int self = t->size();
   return t->MakeNode(std::move(out), {a}, [ai, self, df](Tape* t) {
     const Matrix& g = t->grad(self);
     const Matrix& x = t->value(ai);
     const Matrix& y = t->value(self);
-    Matrix da(x.rows(), x.cols());
+    Matrix da = t->NewZero(x.rows(), x.cols());
     for (int64_t i = 0; i < x.size(); ++i) da[i] = g[i] * df(x[i], y[i]);
-    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
@@ -54,8 +60,10 @@ Var Add(Var a, Var b) {
   Tape* t = SameTape(a, b);
   SBRL_CHECK(a.value().same_shape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
+  Matrix out = t->NewCopy(a.value());
+  out += b.value();
   const int ai = a.id(), bi = b.id(), self = t->size();
-  return t->MakeNode(a.value() + b.value(), {a, b}, [ai, bi, self](Tape* t) {
+  return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
     const Matrix& g = t->grad(self);
     t->AccumulateGrad(ai, g);
     t->AccumulateGrad(bi, g);
@@ -66,13 +74,15 @@ Var Sub(Var a, Var b) {
   Tape* t = SameTape(a, b);
   SBRL_CHECK(a.value().same_shape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
+  Matrix out = t->NewCopy(a.value());
+  out -= b.value();
   const int ai = a.id(), bi = b.id(), self = t->size();
-  return t->MakeNode(a.value() - b.value(), {a, b}, [ai, bi, self](Tape* t) {
+  return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
     const Matrix& g = t->grad(self);
     t->AccumulateGrad(ai, g);
-    Matrix ng = g;
+    Matrix ng = t->NewCopy(g);
     ng *= -1.0;
-    t->AccumulateGrad(bi, ng);
+    t->AccumulateGrad(bi, std::move(ng));
   });
 }
 
@@ -80,12 +90,23 @@ Var Mul(Var a, Var b) {
   Tape* t = SameTape(a, b);
   SBRL_CHECK(a.value().same_shape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  Matrix out = t->NewZero(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) out[i] = av[i] * bv[i];
   const int ai = a.id(), bi = b.id(), self = t->size();
-  return t->MakeNode(Hadamard(a.value(), b.value()), {a, b},
-                     [ai, bi, self](Tape* t) {
+  return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
     const Matrix& g = t->grad(self);
-    t->AccumulateGrad(ai, Hadamard(g, t->value(bi)));
-    t->AccumulateGrad(bi, Hadamard(g, t->value(ai)));
+    const Matrix& av = t->value(ai);
+    const Matrix& bv = t->value(bi);
+    Matrix da = t->NewZero(av.rows(), av.cols());
+    Matrix db = t->NewZero(av.rows(), av.cols());
+    for (int64_t i = 0; i < av.size(); ++i) {
+      da[i] = g[i] * bv[i];
+      db[i] = g[i] * av[i];
+    }
+    t->AccumulateGrad(ai, std::move(da));
+    t->AccumulateGrad(bi, std::move(db));
   });
 }
 
@@ -93,21 +114,21 @@ Var Div(Var a, Var b) {
   Tape* t = SameTape(a, b);
   SBRL_CHECK(a.value().same_shape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
-  Matrix out(a.rows(), a.cols());
+  Matrix out = t->NewZero(a.rows(), a.cols());
   for (int64_t i = 0; i < out.size(); ++i) out[i] = a.value()[i] / b.value()[i];
   const int ai = a.id(), bi = b.id(), self = t->size();
   return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
     const Matrix& g = t->grad(self);
     const Matrix& av = t->value(ai);
     const Matrix& bv = t->value(bi);
-    Matrix da(av.rows(), av.cols());
-    Matrix db(av.rows(), av.cols());
+    Matrix da = t->NewZero(av.rows(), av.cols());
+    Matrix db = t->NewZero(av.rows(), av.cols());
     for (int64_t i = 0; i < av.size(); ++i) {
       da[i] = g[i] / bv[i];
       db[i] = -g[i] * av[i] / (bv[i] * bv[i]);
     }
-    t->AccumulateGrad(ai, da);
-    t->AccumulateGrad(bi, db);
+    t->AccumulateGrad(ai, std::move(da));
+    t->AccumulateGrad(bi, std::move(db));
   });
 }
 
@@ -115,12 +136,21 @@ Var AddRow(Var a, Var row) {
   Tape* t = SameTape(a, row);
   SBRL_CHECK_EQ(row.rows(), 1);
   SBRL_CHECK_EQ(row.cols(), a.cols());
+  const Matrix& av = a.value();
+  const Matrix& rv = row.value();
+  Matrix out = t->NewCopy(av);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    for (int64_t c = 0; c < av.cols(); ++c) out(r, c) += rv(0, c);
+  }
   const int ai = a.id(), ri = row.id(), self = t->size();
-  return t->MakeNode(AddRowBroadcast(a.value(), row.value()), {a, row},
-                     [ai, ri, self](Tape* t) {
+  return t->MakeNode(std::move(out), {a, row}, [ai, ri, self](Tape* t) {
     const Matrix& g = t->grad(self);
     t->AccumulateGrad(ai, g);
-    t->AccumulateGrad(ri, sbrl::ColSum(g));
+    Matrix dr = t->NewZero(1, g.cols());
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t c = 0; c < g.cols(); ++c) dr(0, c) += g(r, c);
+    }
+    t->AccumulateGrad(ri, std::move(dr));
   });
 }
 
@@ -128,17 +158,24 @@ Var AddCol(Var a, Var col) {
   Tape* t = SameTape(a, col);
   SBRL_CHECK_EQ(col.cols(), 1);
   SBRL_CHECK_EQ(col.rows(), a.rows());
-  Matrix out(a.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      out(r, c) = a.value()(r, c) + col.value()(r, 0);
-    }
+  const Matrix& av = a.value();
+  const Matrix& cv = col.value();
+  Matrix out = t->NewCopy(av);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const double add = cv(r, 0);
+    for (int64_t c = 0; c < av.cols(); ++c) out(r, c) += add;
   }
   const int ai = a.id(), ci = col.id(), self = t->size();
   return t->MakeNode(std::move(out), {a, col}, [ai, ci, self](Tape* t) {
     const Matrix& g = t->grad(self);
     t->AccumulateGrad(ai, g);
-    t->AccumulateGrad(ci, sbrl::RowSum(g));
+    Matrix dc = t->NewZero(g.rows(), 1);
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      double acc = 0.0;
+      for (int64_t c = 0; c < g.cols(); ++c) acc += g(r, c);
+      dc(r, 0) = acc;
+    }
+    t->AccumulateGrad(ci, std::move(dc));
   });
 }
 
@@ -146,27 +183,27 @@ Var MulRow(Var a, Var row) {
   Tape* t = SameTape(a, row);
   SBRL_CHECK_EQ(row.rows(), 1);
   SBRL_CHECK_EQ(row.cols(), a.cols());
-  Matrix out(a.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      out(r, c) = a.value()(r, c) * row.value()(0, c);
-    }
+  const Matrix& av = a.value();
+  const Matrix& rv = row.value();
+  Matrix out = t->NewZero(av.rows(), av.cols());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    for (int64_t c = 0; c < av.cols(); ++c) out(r, c) = av(r, c) * rv(0, c);
   }
   const int ai = a.id(), ri = row.id(), self = t->size();
   return t->MakeNode(std::move(out), {a, row}, [ai, ri, self](Tape* t) {
     const Matrix& g = t->grad(self);
     const Matrix& av = t->value(ai);
     const Matrix& rv = t->value(ri);
-    Matrix da(av.rows(), av.cols());
-    Matrix dr(1, av.cols());
+    Matrix da = t->NewZero(av.rows(), av.cols());
+    Matrix dr = t->NewZero(1, av.cols());
     for (int64_t r = 0; r < av.rows(); ++r) {
       for (int64_t c = 0; c < av.cols(); ++c) {
         da(r, c) = g(r, c) * rv(0, c);
         dr(0, c) += g(r, c) * av(r, c);
       }
     }
-    t->AccumulateGrad(ai, da);
-    t->AccumulateGrad(ri, dr);
+    t->AccumulateGrad(ai, std::move(da));
+    t->AccumulateGrad(ri, std::move(dr));
   });
 }
 
@@ -174,29 +211,49 @@ Var MulCol(Var a, Var col) {
   Tape* t = SameTape(a, col);
   SBRL_CHECK_EQ(col.cols(), 1);
   SBRL_CHECK_EQ(col.rows(), a.rows());
+  const Matrix& av = a.value();
+  const Matrix& cv = col.value();
+  Matrix out = t->NewZero(av.rows(), av.cols());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const double s = cv(r, 0);
+    for (int64_t c = 0; c < av.cols(); ++c) out(r, c) = av(r, c) * s;
+  }
   const int ai = a.id(), ci = col.id(), self = t->size();
-  return t->MakeNode(MulColBroadcast(a.value(), col.value()), {a, col},
-                     [ai, ci, self](Tape* t) {
+  return t->MakeNode(std::move(out), {a, col}, [ai, ci, self](Tape* t) {
     const Matrix& g = t->grad(self);
     const Matrix& av = t->value(ai);
     const Matrix& cv = t->value(ci);
-    t->AccumulateGrad(ai, MulColBroadcast(g, cv));
-    t->AccumulateGrad(ci, sbrl::RowSum(Hadamard(g, av)));
+    Matrix da = t->NewZero(av.rows(), av.cols());
+    Matrix dc = t->NewZero(av.rows(), 1);
+    for (int64_t r = 0; r < av.rows(); ++r) {
+      const double s = cv(r, 0);
+      double acc = 0.0;
+      for (int64_t c = 0; c < av.cols(); ++c) {
+        da(r, c) = g(r, c) * s;
+        acc += g(r, c) * av(r, c);
+      }
+      dc(r, 0) = acc;
+    }
+    t->AccumulateGrad(ai, std::move(da));
+    t->AccumulateGrad(ci, std::move(dc));
   });
 }
 
 Var MulScalar(Var a, Var s) {
   Tape* t = SameTape(a, s);
   SBRL_CHECK(s.value().is_scalar());
-  Matrix out = a.value() * s.value().scalar();
+  Matrix out = t->NewCopy(a.value());
+  out *= s.value().scalar();
   const int ai = a.id(), si = s.id(), self = t->size();
   return t->MakeNode(std::move(out), {a, s}, [ai, si, self](Tape* t) {
     const Matrix& g = t->grad(self);
     const double sv = t->value(si).scalar();
-    t->AccumulateGrad(ai, g * sv);
-    Matrix ds(1, 1);
+    Matrix da = t->NewCopy(g);
+    da *= sv;
+    t->AccumulateGrad(ai, std::move(da));
+    Matrix ds = t->NewZero(1, 1);
     ds(0, 0) = Dot(g, t->value(ai));
-    t->AccumulateGrad(si, ds);
+    t->AccumulateGrad(si, std::move(ds));
   });
 }
 
@@ -204,15 +261,18 @@ Var DivScalar(Var a, Var s) {
   Tape* t = SameTape(a, s);
   SBRL_CHECK(s.value().is_scalar());
   const double sv = s.value().scalar();
-  Matrix out = a.value() * (1.0 / sv);
+  Matrix out = t->NewCopy(a.value());
+  out *= 1.0 / sv;
   const int ai = a.id(), si = s.id(), self = t->size();
   return t->MakeNode(std::move(out), {a, s}, [ai, si, self](Tape* t) {
     const Matrix& g = t->grad(self);
     const double sval = t->value(si).scalar();
-    t->AccumulateGrad(ai, g * (1.0 / sval));
-    Matrix ds(1, 1);
+    Matrix da = t->NewCopy(g);
+    da *= 1.0 / sval;
+    t->AccumulateGrad(ai, std::move(da));
+    Matrix ds = t->NewZero(1, 1);
     ds(0, 0) = -Dot(g, t->value(ai)) / (sval * sval);
-    t->AccumulateGrad(si, ds);
+    t->AccumulateGrad(si, std::move(ds));
   });
 }
 
@@ -305,9 +365,19 @@ Var Cos(Var a) {
 Var Transpose(Var a) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
+  const Matrix& av = a.value();
+  Matrix out = t->NewZero(av.cols(), av.rows());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    for (int64_t c = 0; c < av.cols(); ++c) out(c, r) = av(r, c);
+  }
   const int ai = a.id(), self = t->size();
-  return t->MakeNode(sbrl::Transpose(a.value()), {a}, [ai, self](Tape* t) {
-    t->AccumulateGrad(ai, sbrl::Transpose(t->grad(self)));
+  return t->MakeNode(std::move(out), {a}, [ai, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    Matrix da = t->NewZero(g.cols(), g.rows());
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t c = 0; c < g.cols(); ++c) da(c, r) = g(r, c);
+    }
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
@@ -318,27 +388,38 @@ Var GatherRows(Var a, const std::vector<int64_t>& idx) {
   const int64_t parent_rows = a.rows();
   return t->MakeNode(sbrl::GatherRows(a.value(), idx), {a},
                      [ai, self, idx, parent_rows](Tape* t) {
-    t->AccumulateGrad(ai,
-                      sbrl::ScatterAddRows(t->grad(self), idx, parent_rows));
+    const Matrix& g = t->grad(self);
+    Matrix da = t->NewZero(parent_rows, g.cols());
+    for (int64_t i = 0; i < g.rows(); ++i) {
+      for (int64_t c = 0; c < g.cols(); ++c) da(idx[static_cast<size_t>(i)], c) += g(i, c);
+    }
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
 Var ConcatCols(Var a, Var b) {
   Tape* t = SameTape(a, b);
   SBRL_CHECK_EQ(a.rows(), b.rows());
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  const int64_t ac = av.cols(), bc = bv.cols();
+  Matrix out = t->NewZero(av.rows(), ac + bc);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    for (int64_t c = 0; c < ac; ++c) out(r, c) = av(r, c);
+    for (int64_t c = 0; c < bc; ++c) out(r, ac + c) = bv(r, c);
+  }
   const int ai = a.id(), bi = b.id(), self = t->size();
-  const int64_t ac = a.cols(), bc = b.cols();
-  return t->MakeNode(sbrl::ConcatCols(a.value(), b.value()), {a, b},
+  return t->MakeNode(std::move(out), {a, b},
                      [ai, bi, self, ac, bc](Tape* t) {
     const Matrix& g = t->grad(self);
-    Matrix da(g.rows(), ac);
-    Matrix db(g.rows(), bc);
+    Matrix da = t->NewZero(g.rows(), ac);
+    Matrix db = t->NewZero(g.rows(), bc);
     for (int64_t r = 0; r < g.rows(); ++r) {
       for (int64_t c = 0; c < ac; ++c) da(r, c) = g(r, c);
       for (int64_t c = 0; c < bc; ++c) db(r, c) = g(r, ac + c);
     }
-    t->AccumulateGrad(ai, da);
-    t->AccumulateGrad(bi, db);
+    t->AccumulateGrad(ai, std::move(da));
+    t->AccumulateGrad(bi, std::move(db));
   });
 }
 
@@ -346,24 +427,25 @@ Var SelectRowsByTreatment(Var a, Var b, const std::vector<int>& t_assign) {
   Tape* t = SameTape(a, b);
   SBRL_CHECK(a.value().same_shape(b.value()));
   SBRL_CHECK_EQ(static_cast<int64_t>(t_assign.size()), a.rows());
-  Matrix out(a.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const Matrix& src = t_assign[static_cast<size_t>(r)] == 1 ? a.value()
-                                                              : b.value();
-    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = src(r, c);
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  Matrix out = t->NewZero(av.rows(), av.cols());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const Matrix& src = t_assign[static_cast<size_t>(r)] == 1 ? av : bv;
+    for (int64_t c = 0; c < av.cols(); ++c) out(r, c) = src(r, c);
   }
   const int ai = a.id(), bi = b.id(), self = t->size();
   return t->MakeNode(std::move(out), {a, b},
                      [ai, bi, self, t_assign](Tape* t) {
     const Matrix& g = t->grad(self);
-    Matrix da(g.rows(), g.cols());
-    Matrix db(g.rows(), g.cols());
+    Matrix da = t->NewZero(g.rows(), g.cols());
+    Matrix db = t->NewZero(g.rows(), g.cols());
     for (int64_t r = 0; r < g.rows(); ++r) {
       Matrix& dst = t_assign[static_cast<size_t>(r)] == 1 ? da : db;
       for (int64_t c = 0; c < g.cols(); ++c) dst(r, c) = g(r, c);
     }
-    t->AccumulateGrad(ai, da);
-    t->AccumulateGrad(bi, db);
+    t->AccumulateGrad(ai, std::move(da));
+    t->AccumulateGrad(bi, std::move(db));
   });
 }
 
@@ -371,33 +453,36 @@ Var SliceCols(Var a, int64_t start, int64_t count) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
   SBRL_CHECK(start >= 0 && count >= 0 && start + count <= a.cols());
-  Matrix out(a.rows(), count);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < count; ++c) out(r, c) = a.value()(r, start + c);
+  const Matrix& av = a.value();
+  Matrix out = t->NewZero(av.rows(), count);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    for (int64_t c = 0; c < count; ++c) out(r, c) = av(r, start + c);
   }
   const int ai = a.id(), self = t->size();
   const int64_t total = a.cols();
   return t->MakeNode(std::move(out), {a},
                      [ai, self, start, count, total](Tape* t) {
     const Matrix& g = t->grad(self);
-    Matrix da(g.rows(), total);
+    Matrix da = t->NewZero(g.rows(), total);
     for (int64_t r = 0; r < g.rows(); ++r) {
       for (int64_t c = 0; c < count; ++c) da(r, start + c) = g(r, c);
     }
-    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
 Var SumAll(Var a) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
-  Matrix out(1, 1);
+  Matrix out = t->NewZero(1, 1);
   out(0, 0) = a.value().Sum();
   const int ai = a.id(), self = t->size();
   return t->MakeNode(std::move(out), {a}, [ai, self](Tape* t) {
     const double g = t->grad(self).scalar();
     const Matrix& av = t->value(ai);
-    t->AccumulateGrad(ai, Matrix::Constant(av.rows(), av.cols(), g));
+    Matrix da = t->NewZero(av.rows(), av.cols());
+    da.Fill(g);
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
@@ -405,44 +490,59 @@ Var MeanAll(Var a) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
   SBRL_CHECK_GT(a.value().size(), 0);
-  Matrix out(1, 1);
+  Matrix out = t->NewZero(1, 1);
   out(0, 0) = a.value().Mean();
   const int ai = a.id(), self = t->size();
   return t->MakeNode(std::move(out), {a}, [ai, self](Tape* t) {
     const Matrix& av = t->value(ai);
     const double g =
         t->grad(self).scalar() / static_cast<double>(av.size());
-    t->AccumulateGrad(ai, Matrix::Constant(av.rows(), av.cols(), g));
+    Matrix da = t->NewZero(av.rows(), av.cols());
+    da.Fill(g);
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
 Var RowSum(Var a) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
+  const Matrix& av = a.value();
+  Matrix out = t->NewZero(av.rows(), 1);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    double acc = 0.0;
+    for (int64_t c = 0; c < av.cols(); ++c) acc += av(r, c);
+    out(r, 0) = acc;
+  }
   const int ai = a.id(), self = t->size();
-  return t->MakeNode(sbrl::RowSum(a.value()), {a}, [ai, self](Tape* t) {
+  return t->MakeNode(std::move(out), {a}, [ai, self](Tape* t) {
     const Matrix& g = t->grad(self);
     const Matrix& av = t->value(ai);
-    Matrix da(av.rows(), av.cols());
+    Matrix da = t->NewZero(av.rows(), av.cols());
     for (int64_t r = 0; r < av.rows(); ++r) {
-      for (int64_t c = 0; c < av.cols(); ++c) da(r, c) = g(r, 0);
+      const double gv = g(r, 0);
+      for (int64_t c = 0; c < av.cols(); ++c) da(r, c) = gv;
     }
-    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
 Var ColSum(Var a) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
+  const Matrix& av = a.value();
+  Matrix out = t->NewZero(1, av.cols());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    for (int64_t c = 0; c < av.cols(); ++c) out(0, c) += av(r, c);
+  }
   const int ai = a.id(), self = t->size();
-  return t->MakeNode(sbrl::ColSum(a.value()), {a}, [ai, self](Tape* t) {
+  return t->MakeNode(std::move(out), {a}, [ai, self](Tape* t) {
     const Matrix& g = t->grad(self);
     const Matrix& av = t->value(ai);
-    Matrix da(av.rows(), av.cols());
+    Matrix da = t->NewZero(av.rows(), av.cols());
     for (int64_t r = 0; r < av.rows(); ++r) {
       for (int64_t c = 0; c < av.cols(); ++c) da(r, c) = g(0, c);
     }
-    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
@@ -459,12 +559,91 @@ Var ColMean(Var a) {
 Var Matmul(Var a, Var b) {
   Tape* t = SameTape(a, b);
   SBRL_CHECK_EQ(a.cols(), b.rows());
+  Matrix out = t->NewZero(a.rows(), b.cols());
+  MatmulInto(a.value(), b.value(), &out);
   const int ai = a.id(), bi = b.id(), self = t->size();
-  return t->MakeNode(sbrl::Matmul(a.value(), b.value()), {a, b},
-                     [ai, bi, self](Tape* t) {
+  return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
     const Matrix& g = t->grad(self);
-    t->AccumulateGrad(ai, MatmulTransB(g, t->value(bi)));
-    t->AccumulateGrad(bi, MatmulTransA(t->value(ai), g));
+    const Matrix& av = t->value(ai);
+    const Matrix& bv = t->value(bi);
+    if (t->requires_grad(ai)) {
+      Matrix da = t->NewZero(av.rows(), av.cols());
+      MatmulTransBInto(g, bv, &da);
+      t->AccumulateGrad(ai, std::move(da));
+    }
+    if (t->requires_grad(bi)) {
+      Matrix db = t->NewZero(bv.rows(), bv.cols());
+      MatmulTransAInto(av, g, &db);
+      t->AccumulateGrad(bi, std::move(db));
+    }
+  });
+}
+
+Var MatmulTransA(Var a, Var b) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  Matrix out = t->NewZero(av.cols(), bv.cols());
+  MatmulTransAInto(av, bv, &out);
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
+    const Matrix& g = t->grad(self);  // (q x r)
+    const Matrix& av = t->value(ai);  // (p x q)
+    const Matrix& bv = t->value(bi);  // (p x r)
+    if (t->requires_grad(ai)) {
+      Matrix da = t->NewZero(av.rows(), av.cols());
+      MatmulTransBInto(bv, g, &da);  // da = b g^T
+      t->AccumulateGrad(ai, std::move(da));
+    }
+    if (t->requires_grad(bi)) {
+      Matrix db = t->NewZero(bv.rows(), bv.cols());
+      MatmulInto(av, g, &db);  // db = a g
+      t->AccumulateGrad(bi, std::move(db));
+    }
+  });
+}
+
+Var Affine(Var x, Var w, Var b) {
+  Tape* t = SameTape(x, w);
+  SameTape(w, b);
+  SBRL_CHECK_EQ(x.cols(), w.rows());
+  SBRL_CHECK_EQ(b.rows(), 1);
+  SBRL_CHECK_EQ(b.cols(), w.cols());
+  const Matrix& xv = x.value();
+  const Matrix& wv = w.value();
+  const Matrix& bv = b.value();
+  Matrix out = t->NewZero(xv.rows(), wv.cols());
+  MatmulInto(xv, wv, &out);
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    for (int64_t c = 0; c < out.cols(); ++c) out(r, c) += bv(0, c);
+  }
+  const int xi = x.id(), wi = w.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(std::move(out), {x, w, b},
+                     [xi, wi, bi, self](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& xv = t->value(xi);
+    const Matrix& wv = t->value(wi);
+    // The first layer's input is a Constant: skip the full-batch dx
+    // product (the largest single matmul of every backward pass) when
+    // nothing upstream wants it.
+    if (t->requires_grad(xi)) {
+      Matrix dx = t->NewZero(xv.rows(), xv.cols());
+      MatmulTransBInto(g, wv, &dx);
+      t->AccumulateGrad(xi, std::move(dx));
+    }
+    if (t->requires_grad(wi)) {
+      Matrix dw = t->NewZero(wv.rows(), wv.cols());
+      MatmulTransAInto(xv, g, &dw);
+      t->AccumulateGrad(wi, std::move(dw));
+    }
+    if (t->requires_grad(bi)) {
+      Matrix db = t->NewZero(1, g.cols());
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        for (int64_t c = 0; c < g.cols(); ++c) db(0, c) += g(r, c);
+      }
+      t->AccumulateGrad(bi, std::move(db));
+    }
   });
 }
 
@@ -473,7 +652,7 @@ Var SigmoidCrossEntropyWithLogits(Var logits, const Matrix& labels) {
   SBRL_CHECK(logits.valid());
   SBRL_CHECK(logits.value().same_shape(labels));
   const Matrix& x = logits.value();
-  Matrix out(x.rows(), x.cols());
+  Matrix out = t->NewZero(x.rows(), x.cols());
   for (int64_t i = 0; i < x.size(); ++i) {
     out[i] = std::max(x[i], 0.0) - x[i] * labels[i] +
              std::log1p(std::exp(-std::abs(x[i])));
@@ -482,11 +661,11 @@ Var SigmoidCrossEntropyWithLogits(Var logits, const Matrix& labels) {
   return t->MakeNode(std::move(out), {logits}, [ai, self, labels](Tape* t) {
     const Matrix& g = t->grad(self);
     const Matrix& x = t->value(ai);
-    Matrix da(x.rows(), x.cols());
+    Matrix da = t->NewZero(x.rows(), x.cols());
     for (int64_t i = 0; i < x.size(); ++i) {
       da[i] = g[i] * (StableSigmoid(x[i]) - labels[i]);
     }
-    t->AccumulateGrad(ai, da);
+    t->AccumulateGrad(ai, std::move(da));
   });
 }
 
@@ -507,8 +686,8 @@ Var PairwiseSqDist(Var a, Var b) {
     Matrix gcol = sbrl::Transpose(sbrl::ColSum(g));    // (m x 1)
     Matrix db = MulColBroadcast(bv, gcol) * 2.0;
     db -= MatmulTransA(g, av) * 2.0;
-    t->AccumulateGrad(ai, da);
-    t->AccumulateGrad(bi, db);
+    t->AccumulateGrad(ai, std::move(da));
+    t->AccumulateGrad(bi, std::move(db));
   });
 }
 

@@ -102,6 +102,18 @@ Var ColMean(Var a);
 /// Matrix product (n x k) * (k x m).
 Var Matmul(Var a, Var b);
 
+/// Fused dense-layer op: x (n x k) * w (k x m) + row-broadcast b (1 x m)
+/// in a single tape node with pooled buffers — one node instead of the
+/// Matmul + AddRow pair on the hottest path of every forward pass.
+Var Affine(Var x, Var w, Var b);
+
+/// a^T * b where a is (p x q) and b is (p x r) -> (q x r), without
+/// materializing a^T. Numerically identical to
+/// Matmul(Transpose(a), b) — forward and backward accumulate in the
+/// same order — but skips the transpose node and its buffer. Hot in the
+/// HSIC-RFF weight loss, which builds weighted cross-covariances.
+Var MatmulTransA(Var a, Var b);
+
 // ---------------------------------------------------------------------------
 // Fused numerical kernels.
 // ---------------------------------------------------------------------------

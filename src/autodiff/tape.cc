@@ -1,6 +1,30 @@
 #include "autodiff/tape.h"
 
+#include <utility>
+
 namespace sbrl {
+
+Tape::~Tape() {
+  if (pool_ == nullptr) return;
+  for (Node& node : nodes_) {
+    pool_->Release(std::move(node.value));
+    pool_->Release(std::move(node.grad));
+  }
+}
+
+Matrix Tape::NewZero(int64_t rows, int64_t cols) {
+  if (pool_ != nullptr) return pool_->AcquireZero(rows, cols);
+  return Matrix(rows, cols);
+}
+
+Matrix Tape::NewCopy(const Matrix& src) {
+  if (pool_ != nullptr) return pool_->AcquireCopy(src);
+  return src;
+}
+
+void Tape::Recycle(Matrix&& m) {
+  if (pool_ != nullptr) pool_->Release(std::move(m));
+}
 
 const Matrix& Var::value() const {
   SBRL_CHECK(valid());
@@ -52,9 +76,28 @@ void Tape::AccumulateGrad(int id, const Matrix& delta) {
       << "gradient shape " << delta.ShapeString() << " vs value "
       << node.value.ShapeString();
   if (node.grad.empty()) {
-    node.grad = delta;
+    node.grad = NewCopy(delta);
   } else {
     node.grad += delta;
+  }
+}
+
+void Tape::AccumulateGrad(int id, Matrix&& delta) {
+  SBRL_DCHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  Node& node = nodes_[static_cast<size_t>(id)];
+  if (!node.requires_grad) {
+    Recycle(std::move(delta));
+    return;
+  }
+  SBRL_CHECK(delta.rows() == node.value.rows() &&
+             delta.cols() == node.value.cols())
+      << "gradient shape " << delta.ShapeString() << " vs value "
+      << node.value.ShapeString();
+  if (node.grad.empty()) {
+    node.grad = std::move(delta);
+  } else {
+    node.grad += delta;
+    Recycle(std::move(delta));
   }
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "tensor/pool.h"
 
 namespace sbrl {
 
@@ -43,11 +44,19 @@ class Var {
 /// One tape is built per training step and then discarded — the paper's
 /// alternating optimization (Algorithm 1) builds one tape for the
 /// network-parameter step and another for the sample-weight step.
+///
+/// Constructed with a MatrixPool, the tape recycles every node value,
+/// gradient, and op temporary through the pool: on destruction all
+/// buffers return to the pool, so the next iteration's tape (same
+/// shapes) rebuilds without heap allocation. Ops acquire output and
+/// temporary buffers through NewZero / NewCopy / Recycle.
 class Tape {
  public:
   using BackwardFn = std::function<void(Tape*)>;
 
   Tape() = default;
+  explicit Tape(MatrixPool* pool) : pool_(pool) {}
+  ~Tape();
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
@@ -70,6 +79,21 @@ class Tape {
 
   /// Adds `delta` into the gradient buffer of node `id`.
   void AccumulateGrad(int id, const Matrix& delta);
+
+  /// Move-in variant: consumes `delta`, recycling its buffer when the
+  /// node already holds a gradient. Backward rules build their
+  /// contribution in a NewZero buffer and hand it off through this.
+  void AccumulateGrad(int id, Matrix&& delta);
+
+  /// Zeroed (rows x cols) buffer from the pool (plain allocation when
+  /// the tape has no pool).
+  Matrix NewZero(int64_t rows, int64_t cols);
+  /// Pooled copy of `src`.
+  Matrix NewCopy(const Matrix& src);
+  /// Hands a finished temporary back to the pool.
+  void Recycle(Matrix&& m);
+
+  MatrixPool* pool() const { return pool_; }
 
   const Matrix& value(int id) const {
     SBRL_DCHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
@@ -102,6 +126,7 @@ class Tape {
   };
 
   std::vector<Node> nodes_;
+  MatrixPool* pool_ = nullptr;  // not owned; may be null
   bool backward_done_ = false;
 };
 

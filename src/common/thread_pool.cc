@@ -1,0 +1,176 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "common/check.h"
+
+namespace sbrl {
+
+namespace {
+
+/// True inside a pool worker thread; nested ParallelFor calls from a
+/// worker run inline to avoid self-deadlock.
+thread_local bool t_inside_worker = false;
+
+int EnvThreadCount() {
+  const char* env = std::getenv("SBRL_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+/// One in-flight ParallelFor: workers pull chunks by atomically
+/// advancing `next`; the caller waits until `chunks_done` reaches
+/// `chunks_total`.
+struct ThreadPool::Job {
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 1;
+  int64_t chunks_total = 0;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> chunks_done{0};
+
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int num_workers) {
+  SBRL_CHECK_GE(num_workers, 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  // Chunks are independent, so an exception does not cancel the rest of
+  // the loop — the first one is recorded and rethrown after the drain.
+  for (;;) {
+    const int64_t lo = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (lo >= job.end) break;
+    const int64_t hi = std::min(lo + job.chunk, job.end);
+    try {
+      (*job.body)(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    const int64_t done =
+        job.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == job.chunks_total) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.all_done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_worker = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || job_ != nullptr; });
+      if (shutdown_) return;
+      job = job_;
+    }
+    RunChunks(*job);
+    // Park again once this job's chunks are exhausted; the caller clears
+    // job_ when the loop drains.
+    std::unique_lock<std::mutex> lock(mu_);
+    wake_.wait(lock, [this, &job] { return shutdown_ || job_ != job; });
+    if (shutdown_) return;
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  if (min_grain < 1) min_grain = 1;
+  const int64_t total = end - begin;
+  const int lanes = num_workers() + 1;
+  // Serial fallback: nothing to split across, or the whole range fits in
+  // one grain-sized chunk — tiny shapes never pay dispatch overhead.
+  if (lanes == 1 || total <= min_grain || t_inside_worker) {
+    body(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->begin = begin;
+  job->end = end;
+  // Aim for a few chunks per lane (dynamic load balance) but never
+  // below min_grain indices per chunk.
+  const int64_t target_chunks =
+      std::min<int64_t>(total, static_cast<int64_t>(lanes) * 4);
+  job->chunk = std::max(min_grain, (total + target_chunks - 1) / target_chunks);
+  job->chunks_total = (total + job->chunk - 1) / job->chunk;
+  job->next.store(begin, std::memory_order_relaxed);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    // Another thread's loop is in flight (or dispatch is contended):
+    // run this one serially rather than waiting.
+    if (!lock.owns_lock() || job_ != nullptr) {
+      body(begin, end);
+      return;
+    }
+    job_ = job;
+  }
+  wake_.notify_all();
+
+  RunChunks(*job);  // the caller is a full participant
+
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->all_done.wait(lock, [&job] {
+      return job->chunks_done.load(std::memory_order_acquire) ==
+             job->chunks_total;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+  }
+  wake_.notify_all();
+
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(EnvThreadCount() - 1);
+  return *pool;
+}
+
+int ThreadPool::GlobalParallelism() { return Global().num_workers() + 1; }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  ThreadPool::Global().ParallelFor(begin, end, min_grain, body);
+}
+
+}  // namespace sbrl

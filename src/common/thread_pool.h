@@ -1,0 +1,78 @@
+#ifndef SBRL_COMMON_THREAD_POOL_H_
+#define SBRL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sbrl {
+
+/// Persistent worker-thread pool driving data-parallel loops.
+///
+/// The pool owns `num_workers` background threads; the calling thread
+/// also participates in every ParallelFor, so a pool constructed with 0
+/// workers is a plain serial loop. One pool is shared process-wide via
+/// Global(), sized by the SBRL_NUM_THREADS environment variable
+/// (default: hardware concurrency). Kernels split work over DISJOINT
+/// output ranges only, so results never depend on the worker count.
+class ThreadPool {
+ public:
+  /// Pool with `num_workers` background threads (>= 0). The total
+  /// parallelism of ParallelFor is num_workers + 1 (caller included).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs body(lo, hi) over a partition of [begin, end) across the pool,
+  /// blocking until every chunk finished. Chunks hold at least
+  /// `min_grain` indices (>= 1). The first exception thrown by any chunk
+  /// is rethrown on the calling thread after the loop drains. Calls from
+  /// inside a worker (nested parallelism) and calls that arrive while
+  /// another loop is in flight run serially inline, so ParallelFor is
+  /// safe to use anywhere without deadlocking.
+  void ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// Process-wide pool. Worker count = SBRL_NUM_THREADS - 1 when the
+  /// variable is set to a positive integer, else hardware concurrency
+  /// - 1. Constructed on first use.
+  static ThreadPool& Global();
+
+  /// Total parallel lanes of the global pool (workers + caller).
+  static int GlobalParallelism();
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  /// Pulls and runs chunks of `job` until none remain; records the first
+  /// exception into the job.
+  static void RunChunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::shared_ptr<Job> job_;  // non-null while a loop is in flight
+  bool shutdown_ = false;
+};
+
+/// ParallelFor on the global pool: splits [begin, end) into chunks of at
+/// least `min_grain` indices and runs body(lo, hi) on each. Falls back
+/// to a serial inline loop when the range fits in one chunk or the pool
+/// has no workers. `min_grain` doubles as the serial-fallback cutoff:
+/// size the grain so one chunk amortizes dispatch (~10us) and tiny
+/// benchmark/test shapes never leave the calling thread.
+void ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace sbrl
+
+#endif  // SBRL_COMMON_THREAD_POOL_H_

@@ -13,14 +13,15 @@ namespace {
 /// feature blocks `u`, `v` (n x k each) under normalized weights built
 /// from the differentiable node `w`.
 Var PairLoss(Tape* tape, const Matrix& u, const Matrix& v, Var w_norm) {
-  Var u_const = tape->Constant(u);
-  Var v_const = tape->Constant(v);
-  // E_w[u_i v_j] = (u .* w)_^T v with w normalized to sum 1.
+  Var u_const = tape->Constant(tape->NewCopy(u));
+  Var v_const = tape->Constant(tape->NewCopy(v));
+  // E_w[u_i v_j] = (u .* w)^T v with w normalized to sum 1. The fused
+  // transpose-product op keeps the four a^T b products transpose-free.
   Var uw = ops::MulCol(u_const, w_norm);
-  Var e_uv = ops::Matmul(ops::Transpose(uw), v_const);        // (k x k)
-  Var e_u = ops::Matmul(ops::Transpose(w_norm), u_const);     // (1 x k)
-  Var e_v = ops::Matmul(ops::Transpose(w_norm), v_const);     // (1 x k)
-  Var outer = ops::Matmul(ops::Transpose(e_u), e_v);          // (k x k)
+  Var e_uv = ops::MatmulTransA(uw, v_const);        // (k x k)
+  Var e_u = ops::MatmulTransA(w_norm, u_const);     // (1 x k)
+  Var e_v = ops::MatmulTransA(w_norm, v_const);     // (1 x k)
+  Var outer = ops::MatmulTransA(e_u, e_v);          // (k x k)
   return ops::SumAll(ops::Square(ops::Sub(e_uv, outer)));
 }
 
@@ -39,11 +40,12 @@ Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
   // Normalized weights are shared by every pair term.
   Var w_norm = ops::DivScalar(w, ops::SumAll(w));
 
-  // Random cosine features per column, drawn fresh for this evaluation.
+  // Random cosine features per column, drawn fresh for this evaluation
+  // and read through strided column views (no Col copies).
   std::vector<Matrix> features(static_cast<size_t>(d));
   for (int64_t c = 0; c < d; ++c) {
     RffProjection proj = SampleRff(rng, 1, rff_features);
-    features[static_cast<size_t>(c)] = ApplyRff(proj, z.Col(c));
+    features[static_cast<size_t>(c)] = ApplyRffToColumn(proj, z, c);
   }
 
   std::vector<std::pair<int64_t, int64_t>> pairs;

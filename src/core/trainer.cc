@@ -46,7 +46,7 @@ SbrlTrainer::SbrlTrainer(const EstimatorConfig& config, Backbone* backbone,
 }
 
 double SbrlTrainer::EvalFactualLoss(const CausalDataset& data) {
-  Tape tape;
+  Tape tape(&tape_pool_);
   ParamBinder binder(&tape);
   Var w_uniform = tape.Constant(Matrix::Ones(data.n(), 1));
   BackboneForward fwd = backbone_->Forward(binder, data.x, data.t,
@@ -96,7 +96,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
     // ----- Step A (Algorithm 1 lines 4-5): network parameters. -----
     double weight_loss_value = 0.0;
     Matrix w_norm = weights.NormalizedToMeanOne();
-    Tape tape;
+    Tape tape(&tape_pool_);
     ParamBinder binder(&tape);
     Var w_const = tape.Constant(w_norm);
     BackboneForward fwd = backbone_->Forward(binder, train.x, train.t,
@@ -120,7 +120,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
       for (const Var& z : fwd.z_other) inputs.z_o.push_back(z.value());
       inputs.t = train.t;
 
-      Tape w_tape;
+      Tape w_tape(&tape_pool_);
       ParamBinder w_binder(&w_tape);
       Var w_var = w_binder.Bind(weights.param());
       Var w_loss = BuildWeightLoss(w_var, inputs, config_.sbrl,

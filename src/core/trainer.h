@@ -7,6 +7,7 @@
 #include "core/backbone.h"
 #include "core/sample_weights.h"
 #include "data/causal_dataset.h"
+#include "tensor/pool.h"
 
 namespace sbrl {
 
@@ -51,6 +52,10 @@ class SbrlTrainer {
   double effective_alpha_br_;
   IpmKind br_ipm_;
   double br_rbf_bandwidth_;
+  /// Buffer arena shared by every per-iteration tape: node shapes repeat
+  /// across iterations, so steady-state training reuses buffers instead
+  /// of reallocating them.
+  MatrixPool tape_pool_;
 };
 
 }  // namespace sbrl

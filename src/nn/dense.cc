@@ -12,7 +12,7 @@ Var Dense::Forward(ParamBinder& binder, Var x) const {
       << "Dense '" << weight_.name << "' expects input dim " << in_dim();
   Var w = binder.Bind(weight_);
   Var b = binder.Bind(bias_);
-  return ops::AddRow(ops::Matmul(x, w), b);
+  return ops::Affine(x, w, b);
 }
 
 void Dense::CollectParams(std::vector<Param*>* out) {

@@ -9,7 +9,7 @@ Var ParamBinder::Bind(Param& p) {
     // and an orthogonality penalty).
     if (bound == &p) return Var(tape_, id);
   }
-  Var leaf = tape_->Leaf(p.value);
+  Var leaf = tape_->Leaf(tape_->NewCopy(p.value));
   bindings_.emplace_back(leaf.id(), &p);
   return leaf;
 }

@@ -1,5 +1,7 @@
 #include "stats/hsic.h"
 
+#include <cmath>
+#include <utility>
 #include <vector>
 
 #include "stats/kernels.h"
@@ -72,6 +74,7 @@ double PairwiseWeightedHsicRff(const Matrix& x, const Matrix& w,
                                int64_t max_pairs) {
   const int64_t d = x.cols();
   SBRL_CHECK_GT(d, 1);
+  SBRL_CHECK_EQ(x.rows(), w.rows());
   std::vector<std::pair<int64_t, int64_t>> pairs;
   for (int64_t a = 0; a < d; ++a) {
     for (int64_t b = a + 1; b < d; ++b) pairs.emplace_back(a, b);
@@ -88,9 +91,46 @@ double PairwiseWeightedHsicRff(const Matrix& x, const Matrix& w,
     }
     pairs.swap(subset);
   }
+
+  // Everything that depends on a single feature is hoisted out of the
+  // pair loop: one projection per feature (shared by every pair that
+  // touches it, where the seed resampled and re-applied the RFF
+  // transform per pair), the weight-scaled features, and the weighted
+  // feature means — computed lazily, in ascending column order, only
+  // for features the (possibly subsampled) pair set actually uses.
+  std::vector<bool> used(static_cast<size_t>(d), false);
+  for (const auto& [a, b] : pairs) {
+    used[static_cast<size_t>(a)] = true;
+    used[static_cast<size_t>(b)] = true;
+  }
+  Matrix wn = NormalizeWeights(w);
+  std::vector<Matrix> feats(static_cast<size_t>(d));
+  std::vector<Matrix> feats_w(static_cast<size_t>(d));  // rows scaled by wn
+  std::vector<Matrix> means(static_cast<size_t>(d));    // (1 x k) E_w[u]
+  for (int64_t c = 0; c < d; ++c) {
+    if (!used[static_cast<size_t>(c)]) continue;
+    RffProjection proj = SampleRff(rng, 1, num_features);
+    Matrix u = ApplyRffToColumn(proj, x, c);
+    feats_w[static_cast<size_t>(c)] = MulColBroadcast(u, wn);
+    means[static_cast<size_t>(c)] = MatmulTransA(wn, u);
+    feats[static_cast<size_t>(c)] = std::move(u);
+  }
   double acc = 0.0;
   for (const auto& [a, b] : pairs) {
-    acc += WeightedHsicRff(x.Col(a), x.Col(b), w, num_features, rng);
+    // Squared Frobenius norm of E_w[u v^T] - E_w[u] E_w[v]^T.
+    const Matrix& ua = feats_w[static_cast<size_t>(a)];
+    const Matrix& vb = feats[static_cast<size_t>(b)];
+    Matrix cov = MatmulTransA(ua, vb);  // (k x k)
+    const Matrix& ea = means[static_cast<size_t>(a)];
+    const Matrix& eb = means[static_cast<size_t>(b)];
+    double frob2 = 0.0;
+    for (int64_t i = 0; i < cov.rows(); ++i) {
+      for (int64_t j = 0; j < cov.cols(); ++j) {
+        const double v = cov(i, j) - ea(0, i) * eb(0, j);
+        frob2 += v * v;
+      }
+    }
+    acc += frob2;
   }
   // Rescale a sampled subset to estimate the full-pair sum.
   return acc * static_cast<double>(total) / static_cast<double>(use);

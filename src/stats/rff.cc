@@ -17,9 +17,49 @@ RffProjection SampleRff(Rng& rng, int64_t in_dim, int64_t num_features) {
 
 Matrix ApplyRff(const RffProjection& proj, const Matrix& x) {
   SBRL_CHECK_EQ(x.cols(), proj.in_dim());
-  Matrix projected = AddRowBroadcast(Matmul(x, proj.w), proj.phi);
+  // Fused single pass over sqrt(2) cos(x w + phi): the projection sum
+  // accumulates over in_dim in ascending order exactly like Matmul, so
+  // the result matches the former Matmul + AddRowBroadcast + Map chain
+  // without the two intermediate matrices.
+  const int64_t n = x.rows(), d = x.cols(), kf = proj.num_features();
   const double root2 = std::sqrt(2.0);
-  return Map(projected, [root2](double v) { return root2 * std::cos(v); });
+  const double* xd = x.data();
+  const double* wd = proj.w.data();
+  const double* phid = proj.phi.data();
+  Matrix out(n, kf);
+  double* od = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double* xrow = xd + i * d;
+    double* orow = od + i * kf;
+    for (int64_t f = 0; f < kf; ++f) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) acc += xrow[j] * wd[j * kf + f];
+      orow[f] = root2 * std::cos(acc + phid[f]);
+    }
+  }
+  return out;
+}
+
+Matrix ApplyRffToColumn(const RffProjection& proj, const Matrix& x,
+                        int64_t col) {
+  SBRL_CHECK_EQ(proj.in_dim(), 1);
+  SBRL_CHECK(col >= 0 && col < x.cols());
+  const int64_t n = x.rows(), kf = proj.num_features();
+  const double root2 = std::sqrt(2.0);
+  const double* xcol = x.data() + col;
+  const int64_t stride = x.cols();
+  const double* wd = proj.w.data();
+  const double* phid = proj.phi.data();
+  Matrix out(n, kf);
+  double* od = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = xcol[i * stride];
+    double* orow = od + i * kf;
+    for (int64_t f = 0; f < kf; ++f) {
+      orow[f] = root2 * std::cos(v * wd[f] + phid[f]);
+    }
+  }
+  return out;
 }
 
 }  // namespace sbrl

@@ -27,6 +27,12 @@ RffProjection SampleRff(Rng& rng, int64_t in_dim, int64_t num_features);
 /// (n x num_features) feature matrix sqrt(2) cos(x w + phi).
 Matrix ApplyRff(const RffProjection& proj, const Matrix& x);
 
+/// ApplyRff of column `col` of `x`, read in place through a strided
+/// pointer — no Matrix::Col copy. `proj` must have in_dim() == 1.
+/// Identical output to ApplyRff(proj, x.Col(col)).
+Matrix ApplyRffToColumn(const RffProjection& proj, const Matrix& x,
+                        int64_t col);
+
 }  // namespace sbrl
 
 #endif  // SBRL_STATS_RFF_H_

@@ -1,10 +1,224 @@
 #include "tensor/linalg.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "common/thread_pool.h"
 
 namespace sbrl {
 
+namespace {
+
+// The j-panel keeps a (k x kJBlock) slab of B hot in L2 across every
+// row of an i-range.
+constexpr int64_t kJBlock = 128;
+constexpr int64_t kTransposeTile = 32;
+
+// Work below this many scalar multiply-adds (or mapped elements) runs
+// serially inline — bench/test-sized shapes never pay thread dispatch.
+constexpr int64_t kSerialCutoff = 1 << 16;
+
+/// Rows per parallel chunk so one chunk carries ~kSerialCutoff flops.
+int64_t GrainRows(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kSerialCutoff / std::max<int64_t>(1, flops_per_row));
+}
+
+// The hot kernels live in free functions with __restrict parameters
+// rather than inside the ParallelFor lambdas: stores through a pointer
+// captured in a closure could alias the closure itself, which blocks
+// vectorization and register-caching of the loop state.
+
+/// Rows [r0, r1) of out += a * b. Blocked: a j-panel of B is reused
+/// across every row of the range, rows are unrolled 4-wide so each B
+/// load feeds four rows, and the k loop is unrolled 4-wide with the
+/// output element held in a register across the four multiply-adds.
+/// Each output element receives its k terms one at a time in ascending
+/// order, so the result is identical to the naive i-k-j reference on a
+/// zeroed output, independent of tiling and thread count.
+void MatmulRowsKernel(const double* __restrict ad, const double* __restrict bd,
+                      double* __restrict od, int64_t k, int64_t m, int64_t r0,
+                      int64_t r1) {
+  for (int64_t jb = 0; jb < m; jb += kJBlock) {
+    const int64_t je = std::min(jb + kJBlock, m);
+    int64_t i = r0;
+    for (; i + 4 <= r1; i += 4) {
+      const double* a0 = ad + i * k;
+      const double* a1 = a0 + k;
+      const double* a2 = a1 + k;
+      const double* a3 = a2 + k;
+      double* o0 = od + i * m;
+      double* o1 = o0 + m;
+      double* o2 = o1 + m;
+      double* o3 = o2 + m;
+      int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const double* br0 = bd + p * m;
+        const double* br1 = br0 + m;
+        const double* br2 = br1 + m;
+        const double* br3 = br2 + m;
+        for (int64_t j = jb; j < je; ++j) {
+          const double b0 = br0[j], b1 = br1[j], b2 = br2[j], b3 = br3[j];
+          double x0 = o0[j];
+          x0 += a0[p] * b0; x0 += a0[p + 1] * b1;
+          x0 += a0[p + 2] * b2; x0 += a0[p + 3] * b3;
+          o0[j] = x0;
+          double x1 = o1[j];
+          x1 += a1[p] * b0; x1 += a1[p + 1] * b1;
+          x1 += a1[p + 2] * b2; x1 += a1[p + 3] * b3;
+          o1[j] = x1;
+          double x2 = o2[j];
+          x2 += a2[p] * b0; x2 += a2[p + 1] * b1;
+          x2 += a2[p + 2] * b2; x2 += a2[p + 3] * b3;
+          o2[j] = x2;
+          double x3 = o3[j];
+          x3 += a3[p] * b0; x3 += a3[p + 1] * b1;
+          x3 += a3[p + 2] * b2; x3 += a3[p + 3] * b3;
+          o3[j] = x3;
+        }
+      }
+      for (; p < k; ++p) {
+        const double* brow = bd + p * m;
+        const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        for (int64_t j = jb; j < je; ++j) {
+          const double bv = brow[j];
+          o0[j] += v0 * bv;
+          o1[j] += v1 * bv;
+          o2[j] += v2 * bv;
+          o3[j] += v3 * bv;
+        }
+      }
+    }
+    for (; i < r1; ++i) {
+      const double* arow = ad + i * k;
+      double* orow = od + i * m;
+      int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const double* br0 = bd + p * m;
+        const double* br1 = br0 + m;
+        const double* br2 = br1 + m;
+        const double* br3 = br2 + m;
+        const double v0 = arow[p], v1 = arow[p + 1];
+        const double v2 = arow[p + 2], v3 = arow[p + 3];
+        for (int64_t j = jb; j < je; ++j) {
+          double x = orow[j];
+          x += v0 * br0[j]; x += v1 * br1[j];
+          x += v2 * br2[j]; x += v3 * br3[j];
+          orow[j] = x;
+        }
+      }
+      for (; p < k; ++p) {
+        const double* brow = bd + p * m;
+        const double av = arow[p];
+        for (int64_t j = jb; j < je; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// Rows [r0, r1) of out += a^T * b where a is (k x n): the reduction
+/// index p stays outermost and ascending for every element.
+void MatmulTransARowsKernel(const double* __restrict ad,
+                            const double* __restrict bd,
+                            double* __restrict od, int64_t k, int64_t n,
+                            int64_t m, int64_t r0, int64_t r1) {
+  for (int64_t p = 0; p < k; ++p) {
+    const double* acol = ad + p * n;
+    const double* brow = bd + p * m;
+    for (int64_t i = r0; i < r1; ++i) {
+      const double av = acol[i];
+      double* orow = od + i * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Rows [r0, r1) of out += a * b^T where b is (m x k). 2x2 micro-kernel:
+/// each loaded A/B row segment feeds two dot products; accumulators are
+/// per-element, k ascending.
+void MatmulTransBRowsKernel(const double* __restrict ad,
+                            const double* __restrict bd,
+                            double* __restrict od, int64_t k, int64_t m,
+                            int64_t r0, int64_t r1) {
+  int64_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const double* a0 = ad + i * k;
+    const double* a1 = a0 + k;
+    double* o0 = od + i * m;
+    double* o1 = o0 + m;
+    int64_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+      const double* b0 = bd + j * k;
+      const double* b1 = b0 + k;
+      double acc00 = 0.0, acc01 = 0.0, acc10 = 0.0, acc11 = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const double a0p = a0[p], a1p = a1[p];
+        const double b0p = b0[p], b1p = b1[p];
+        acc00 += a0p * b0p;
+        acc01 += a0p * b1p;
+        acc10 += a1p * b0p;
+        acc11 += a1p * b1p;
+      }
+      o0[j] += acc00;
+      o0[j + 1] += acc01;
+      o1[j] += acc10;
+      o1[j + 1] += acc11;
+    }
+    for (; j < m; ++j) {
+      const double* brow = bd + j * k;
+      double acc0 = 0.0, acc1 = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc0 += a0[p] * brow[p];
+        acc1 += a1[p] * brow[p];
+      }
+      o0[j] += acc0;
+      o1[j] += acc1;
+    }
+  }
+  for (; i < r1; ++i) {
+    const double* arow = ad + i * k;
+    double* orow = od + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const double* brow = bd + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+void MatmulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  SBRL_CHECK_EQ(a.cols(), b.rows())
+      << "Matmul shape mismatch " << a.ShapeString() << " * "
+      << b.ShapeString();
+  SBRL_CHECK(out->rows() == a.rows() && out->cols() == b.cols())
+      << "Matmul output shape " << out->ShapeString();
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  if (n == 0 || k == 0 || m == 0) return;
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out->data();
+  // Small products skip thread dispatch entirely (no std::function is
+  // even constructed): the HSIC weight loss issues tens of thousands of
+  // tiny matmuls per training run.
+  if (n * k * m <= kSerialCutoff) {
+    MatmulRowsKernel(ad, bd, od, k, m, 0, n);
+    return;
+  }
+  ParallelFor(0, n, GrainRows(k * m), [=](int64_t r0, int64_t r1) {
+    MatmulRowsKernel(ad, bd, od, k, m, r0, r1);
+  });
+}
+
 Matrix Matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  MatmulInto(a, b, &out);
+  return out;
+}
+
+Matrix MatmulReference(const Matrix& a, const Matrix& b) {
   SBRL_CHECK_EQ(a.cols(), b.rows())
       << "Matmul shape mismatch " << a.ShapeString() << " * "
       << b.ShapeString();
@@ -26,55 +240,84 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
+void MatmulTransAInto(const Matrix& a, const Matrix& b, Matrix* out) {
   SBRL_CHECK_EQ(a.rows(), b.rows())
       << "MatmulTransA shape mismatch " << a.ShapeString() << "^T * "
       << b.ShapeString();
+  SBRL_CHECK(out->rows() == a.cols() && out->cols() == b.cols())
+      << "MatmulTransA output shape " << out->ShapeString();
   const int64_t k = a.rows(), n = a.cols(), m = b.cols();
-  Matrix out(n, m);
+  if (n == 0 || k == 0 || m == 0) return;
   const double* ad = a.data();
   const double* bd = b.data();
-  double* od = out.data();
-  for (int64_t p = 0; p < k; ++p) {
-    const double* arow = ad + p * n;
-    const double* brow = bd + p * m;
-    for (int64_t i = 0; i < n; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* orow = od + i * m;
-      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
+  double* od = out->data();
+  if (n * k * m <= kSerialCutoff) {
+    MatmulTransARowsKernel(ad, bd, od, k, n, m, 0, n);
+    return;
   }
+  // Threads own disjoint ranges of output rows (columns of A).
+  ParallelFor(0, n, GrainRows(k * m), [=](int64_t r0, int64_t r1) {
+    MatmulTransARowsKernel(ad, bd, od, k, n, m, r0, r1);
+  });
+}
+
+Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  MatmulTransAInto(a, b, &out);
   return out;
 }
 
-Matrix MatmulTransB(const Matrix& a, const Matrix& b) {
+void MatmulTransBInto(const Matrix& a, const Matrix& b, Matrix* out) {
   SBRL_CHECK_EQ(a.cols(), b.cols())
       << "MatmulTransB shape mismatch " << a.ShapeString() << " * "
       << b.ShapeString() << "^T";
+  SBRL_CHECK(out->rows() == a.rows() && out->cols() == b.rows())
+      << "MatmulTransB output shape " << out->ShapeString();
   const int64_t n = a.rows(), k = a.cols(), m = b.rows();
-  Matrix out(n, m);
+  if (n == 0 || k == 0 || m == 0) return;
   const double* ad = a.data();
   const double* bd = b.data();
-  double* od = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const double* arow = ad + i * k;
-    double* orow = od + i * m;
-    for (int64_t j = 0; j < m; ++j) {
-      const double* brow = bd + j * k;
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
-    }
+  double* od = out->data();
+  if (n * k * m <= kSerialCutoff) {
+    MatmulTransBRowsKernel(ad, bd, od, k, m, 0, n);
+    return;
   }
+  ParallelFor(0, n, GrainRows(k * m), [=](int64_t r0, int64_t r1) {
+    MatmulTransBRowsKernel(ad, bd, od, k, m, r0, r1);
+  });
+}
+
+Matrix MatmulTransB(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  MatmulTransBInto(a, b, &out);
   return out;
 }
 
 Matrix Transpose(const Matrix& a) {
-  Matrix out(a.cols(), a.rows());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  const int64_t n = a.rows(), m = a.cols();
+  Matrix out(m, n);
+  const double* ad = a.data();
+  double* od = out.data();
+  if (n * m <= kSerialCutoff) {
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < m; ++c) od[c * n + r] = ad[r * m + c];
+    }
+    return out;
   }
+  // Tiled over (row, col) blocks so both the read and write streams stay
+  // within cache lines; parallel over output row blocks.
+  ParallelFor(0, m, GrainRows(n), [=](int64_t c0, int64_t c1) {
+    for (int64_t cb = c0; cb < c1; cb += kTransposeTile) {
+      const int64_t ce = std::min(cb + kTransposeTile, c1);
+      for (int64_t rb = 0; rb < n; rb += kTransposeTile) {
+        const int64_t re = std::min(rb + kTransposeTile, n);
+        for (int64_t c = cb; c < ce; ++c) {
+          double* orow = od + c * n;
+          for (int64_t r = rb; r < re; ++r) orow[r] = ad[r * m + c];
+        }
+      }
+    }
+  });
   return out;
 }
 
@@ -120,7 +363,16 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
 
 Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
   Matrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  const double* ad = a.data();
+  double* od = out.data();
+  if (a.size() <= kSerialCutoff) {
+    for (int64_t i = 0; i < a.size(); ++i) od[i] = f(ad[i]);
+    return out;
+  }
+  ParallelFor(0, a.size(), kSerialCutoff,
+              [ad, od, &f](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) od[i] = f(ad[i]);
+              });
   return out;
 }
 
@@ -146,13 +398,16 @@ Matrix MulColBroadcast(const Matrix& a, const Matrix& col) {
 }
 
 Matrix GatherRows(const Matrix& a, const std::vector<int64_t>& idx) {
-  Matrix out(static_cast<int64_t>(idx.size()), a.cols());
+  const int64_t m = a.cols();
+  Matrix out(static_cast<int64_t>(idx.size()), m);
+  const size_t row_bytes = static_cast<size_t>(m) * sizeof(double);
+  const double* ad = a.data();
+  double* od = out.data();
   for (size_t i = 0; i < idx.size(); ++i) {
     SBRL_CHECK(idx[i] >= 0 && idx[i] < a.rows())
         << "gather index " << idx[i] << " out of range " << a.rows();
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      out(static_cast<int64_t>(i), c) = a(idx[i], c);
-    }
+    if (row_bytes == 0) continue;  // still validates every index
+    std::memcpy(od + static_cast<int64_t>(i) * m, ad + idx[i] * m, row_bytes);
   }
   return out;
 }
@@ -172,10 +427,14 @@ Matrix ScatterAddRows(const Matrix& a, const std::vector<int64_t>& idx,
 
 Matrix ConcatCols(const Matrix& a, const Matrix& b) {
   SBRL_CHECK_EQ(a.rows(), b.rows());
-  Matrix out(a.rows(), a.cols() + b.cols());
+  const int64_t ac = a.cols(), bc = b.cols();
+  Matrix out(a.rows(), ac + bc);
+  const size_t a_bytes = static_cast<size_t>(ac) * sizeof(double);
+  const size_t b_bytes = static_cast<size_t>(bc) * sizeof(double);
+  double* od = out.data();
   for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
-    for (int64_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
+    std::memcpy(od + r * (ac + bc), a.data() + r * ac, a_bytes);
+    std::memcpy(od + r * (ac + bc) + ac, b.data() + r * bc, b_bytes);
   }
   return out;
 }
@@ -183,26 +442,39 @@ Matrix ConcatCols(const Matrix& a, const Matrix& b) {
 Matrix ConcatRows(const Matrix& a, const Matrix& b) {
   SBRL_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows() + b.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
-  }
-  for (int64_t r = 0; r < b.rows(); ++r) {
-    for (int64_t c = 0; c < b.cols(); ++c) out(a.rows() + r, c) = b(r, c);
-  }
+  std::memcpy(out.data(), a.data(),
+              static_cast<size_t>(a.size()) * sizeof(double));
+  std::memcpy(out.data() + a.size(), b.data(),
+              static_cast<size_t>(b.size()) * sizeof(double));
   return out;
 }
 
 Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
   SBRL_CHECK_EQ(a.cols(), b.cols());
-  Matrix cross = MatmulTransB(a, b);  // (n x m)
+  Matrix cross = MatmulTransB(a, b);   // (n x m)
   Matrix a2 = RowSum(Hadamard(a, a));  // (n x 1)
   Matrix b2 = RowSum(Hadamard(b, b));  // (m x 1)
-  Matrix out(a.rows(), b.rows());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    for (int64_t j = 0; j < b.rows(); ++j) {
-      double d = a2(i, 0) + b2(j, 0) - 2.0 * cross(i, j);
-      out(i, j) = d > 0.0 ? d : 0.0;  // guard tiny negative round-off
+  const int64_t n = a.rows(), m = b.rows();
+  Matrix out(n, m);
+  const double* cd = cross.data();
+  const double* a2d = a2.data();
+  const double* b2d = b2.data();
+  double* od = out.data();
+  const auto fill_rows = [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double ai = a2d[i];
+      const double* crow = cd + i * m;
+      double* orow = od + i * m;
+      for (int64_t j = 0; j < m; ++j) {
+        const double d = ai + b2d[j] - 2.0 * crow[j];
+        orow[j] = d > 0.0 ? d : 0.0;  // guard tiny negative round-off
+      }
     }
+  };
+  if (n * m <= kSerialCutoff) {
+    fill_rows(0, n);
+  } else {
+    ParallelFor(0, n, GrainRows(m), fill_rows);
   }
   return out;
 }

@@ -8,8 +8,11 @@
 
 namespace sbrl {
 
-/// Dense matrix product a(n x k) * b(k x m) -> (n x m). Cache-friendly
-/// i-k-j loop order; this is the hot kernel of the whole library.
+/// Dense matrix product a(n x k) * b(k x m) -> (n x m). Cache-blocked
+/// and multi-threaded (see ParallelFor); this is the hot kernel of the
+/// whole library. Every output element accumulates over k in ascending
+/// order, so the result is bitwise independent of tiling and worker
+/// count and matches the naive i-k-j reference.
 Matrix Matmul(const Matrix& a, const Matrix& b);
 
 /// a^T * b where a is (k x n): (n x m) result without materializing a^T.
@@ -18,7 +21,20 @@ Matrix MatmulTransA(const Matrix& a, const Matrix& b);
 /// a * b^T where b is (m x k): (n x m) result without materializing b^T.
 Matrix MatmulTransB(const Matrix& a, const Matrix& b);
 
-/// Out-of-place transpose.
+/// Accumulating in-place variants for pooled output buffers: the product
+/// is ADDED into `*out`, which must already have the result shape.
+/// Callers that want `out = a * b` pass a zeroed buffer (Tape/MatrixPool
+/// buffers arrive zeroed).
+void MatmulInto(const Matrix& a, const Matrix& b, Matrix* out);
+void MatmulTransAInto(const Matrix& a, const Matrix& b, Matrix* out);
+void MatmulTransBInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// The seed repo's single-threaded triple-loop matmul, kept as the
+/// ground-truth reference for the tiled kernels' randomized tests and
+/// the before/after microbenchmark. Not for production use.
+Matrix MatmulReference(const Matrix& a, const Matrix& b);
+
+/// Out-of-place transpose (tiled, parallel over output row blocks).
 Matrix Transpose(const Matrix& a);
 
 /// Row-wise sum: (n x d) -> (n x 1).
@@ -33,7 +49,8 @@ Matrix ColMean(const Matrix& a);
 /// Elementwise Hadamard product (shapes must match).
 Matrix Hadamard(const Matrix& a, const Matrix& b);
 
-/// Applies `f` to each element, returning a new matrix.
+/// Applies `f` to each element, returning a new matrix. Large inputs
+/// are mapped in parallel; `f` must be pure (no shared mutable state).
 Matrix Map(const Matrix& a, const std::function<double(double)>& f);
 
 /// Broadcast add of a (1 x d) row vector to every row of (n x d).
@@ -56,7 +73,7 @@ Matrix ConcatCols(const Matrix& a, const Matrix& b);
 Matrix ConcatRows(const Matrix& a, const Matrix& b);
 
 /// Pairwise squared Euclidean distances between rows of a (n x d) and
-/// rows of b (m x d): (n x m).
+/// rows of b (m x d): (n x m). Parallel over output rows.
 Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b);
 
 /// Dot product of two equal-shaped matrices viewed as flat vectors.

@@ -50,6 +50,20 @@ std::string Matrix::ShapeString() const {
 
 void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
+void Matrix::ResetZero(int64_t rows, int64_t cols) {
+  SBRL_CHECK_GE(rows, 0);
+  SBRL_CHECK_GE(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<size_t>(rows * cols), 0.0);
+}
+
+void Matrix::ResetCopyOf(const Matrix& src) {
+  rows_ = src.rows_;
+  cols_ = src.cols_;
+  data_.assign(src.data_.begin(), src.data_.end());
+}
+
 Matrix& Matrix::operator+=(const Matrix& other) {
   SBRL_CHECK(same_shape(other))
       << ShapeString() << " vs " << other.ShapeString();

@@ -102,6 +102,15 @@ class Matrix {
   /// Fills every element with `v`.
   void Fill(double v);
 
+  /// Reshapes in place to (rows x cols) with every element zero. The
+  /// backing storage is reused when its capacity suffices — this is the
+  /// recycling primitive behind MatrixPool.
+  void ResetZero(int64_t rows, int64_t cols);
+
+  /// Reshapes in place to `src`'s shape and copies its contents in one
+  /// pass, reusing the backing storage when possible.
+  void ResetCopyOf(const Matrix& src);
+
   /// In-place elementwise operations (shape must match exactly).
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);

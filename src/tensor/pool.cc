@@ -1,0 +1,40 @@
+#include "tensor/pool.h"
+
+#include <utility>
+
+namespace sbrl {
+
+Matrix MatrixPool::Take(int64_t size) {
+  auto it = free_.find(size);
+  if (it == free_.end() || it->second.empty()) {
+    ++alloc_count_;
+    return Matrix();
+  }
+  Matrix m = std::move(it->second.back());
+  it->second.pop_back();
+  --free_count_;
+  ++reuse_count_;
+  return m;
+}
+
+Matrix MatrixPool::AcquireZero(int64_t rows, int64_t cols) {
+  Matrix m = Take(rows * cols);
+  m.ResetZero(rows, cols);
+  return m;
+}
+
+Matrix MatrixPool::AcquireCopy(const Matrix& src) {
+  Matrix m = Take(src.size());
+  m.ResetCopyOf(src);
+  return m;
+}
+
+void MatrixPool::Release(Matrix&& m) {
+  if (m.size() == 0) return;
+  std::vector<Matrix>& list = free_[m.size()];
+  if (list.size() >= kMaxFreePerSize) return;  // drop: bounded memory
+  list.push_back(std::move(m));
+  ++free_count_;
+}
+
+}  // namespace sbrl

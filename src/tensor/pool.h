@@ -1,0 +1,62 @@
+#ifndef SBRL_TENSOR_POOL_H_
+#define SBRL_TENSOR_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace sbrl {
+
+/// Free-list of Matrix buffers keyed by element count.
+///
+/// The training loop rebuilds an autodiff tape every iteration with the
+/// same node shapes; without recycling, every node value, gradient, and
+/// backward temporary is a fresh heap allocation. A MatrixPool owned by
+/// the trainer outlives the per-iteration tapes: each Tape hands its
+/// buffers back on destruction and the next iteration's tape re-acquires
+/// them, so steady-state training performs no matrix allocations at all.
+///
+/// Not thread-safe: a pool belongs to the single thread that builds and
+/// destroys tapes (kernels parallelize *inside* ops, never across them).
+class MatrixPool {
+ public:
+  MatrixPool() = default;
+  MatrixPool(const MatrixPool&) = delete;
+  MatrixPool& operator=(const MatrixPool&) = delete;
+
+  /// Zeroed (rows x cols) matrix, recycling a free buffer of the same
+  /// element count when one exists.
+  Matrix AcquireZero(int64_t rows, int64_t cols);
+
+  /// Copy of `src`, recycling a free buffer when one exists.
+  Matrix AcquireCopy(const Matrix& src);
+
+  /// Returns a matrix's storage to the free list. Accepts empty
+  /// matrices (no-op) so callers can release unconditionally.
+  void Release(Matrix&& m);
+
+  /// Buffers currently parked in the free list.
+  int64_t free_count() const { return free_count_; }
+  /// Acquires served from the free list / via fresh allocation.
+  int64_t reuse_count() const { return reuse_count_; }
+  int64_t alloc_count() const { return alloc_count_; }
+
+ private:
+  /// Pops a free buffer with exactly `size` elements, or an empty
+  /// matrix when none is available.
+  Matrix Take(int64_t size);
+
+  // Per-size cap so a one-off giant tape cannot pin memory forever.
+  static constexpr size_t kMaxFreePerSize = 256;
+
+  std::unordered_map<int64_t, std::vector<Matrix>> free_;
+  int64_t free_count_ = 0;
+  int64_t reuse_count_ = 0;
+  int64_t alloc_count_ = 0;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_TENSOR_POOL_H_

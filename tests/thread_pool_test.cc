@@ -1,0 +1,127 @@
+// Tests for the ThreadPool / ParallelFor backend: coverage of every
+// index exactly once, 0/1-worker edge cases, exception propagation,
+// nested use, and grain-based serial fallback.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sbrl {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersRunsSeriallyOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int64_t> seen;
+  pool.ParallelFor(0, 100, 1, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (int64_t i = lo; i < hi; ++i) seen.push_back(i);
+  });
+  ASSERT_EQ(seen.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, EveryIndexCoveredExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  const int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginAndEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, 200, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  pool.ParallelFor(5, 3, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainKeepsSmallRangesSerial) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  // total (64) <= min_grain (64): must run inline on the caller as one
+  // chunk — the serial fallback the tensor kernels rely on.
+  pool.ParallelFor(0, 64, 64, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 64);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> completed{0};
+  try {
+    pool.ParallelFor(0, 1000, 1, [&](int64_t lo, int64_t hi) {
+      if (lo == 0) throw std::runtime_error("chunk failed");
+      completed.fetch_add(hi - lo);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk failed");
+  }
+  // Remaining chunks still ran: the loop drains before rethrowing.
+  EXPECT_GT(completed.load(), 0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // A nested loop on the same pool must not deadlock; it runs
+      // serially inline on whichever thread is executing this chunk.
+      pool.ParallelFor(0, 10, 1,
+                       [&](int64_t l2, int64_t h2) { total.fetch_add(h2 - l2); });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 256, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) sum.fetch_add(1);
+    });
+    ASSERT_EQ(sum.load(), 256) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, FreeFunctionUsesGlobalPool) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 1000, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+  EXPECT_GE(ThreadPool::GlobalParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace sbrl
