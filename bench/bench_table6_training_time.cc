@@ -9,9 +9,19 @@
 // overridable via SBRL_BENCH_JSON_DIR) so the perf trajectory is
 // machine-readable across PRs. The writer CHECKs every timing is
 // finite, which the ctest smoke perf guard relies on.
+//
+// For every weight-learning method, a second "<name>/weight_step"
+// entry records the seconds spent inside the sample-weight phase, so
+// the JSON captures the weight-loss share of training (the phase the
+// batched HSIC kernel targets). SBRL_HSIC_MODE=exact reruns the suite
+// on the per-pair reference path at otherwise identical scale/flags —
+// the before/after comparison documented in README "Weight-loss
+// batching".
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/timer.h"
@@ -24,6 +34,16 @@ namespace {
 
 BenchJsonWriter* g_json = nullptr;
 
+BatchedHsicMode HsicModeFromEnv() {
+  const char* env = std::getenv("SBRL_HSIC_MODE");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "batched") == 0) {
+    return BatchedHsicMode::kBatched;
+  }
+  SBRL_CHECK(std::strcmp(env, "exact") == 0)
+      << "SBRL_HSIC_MODE must be 'exact' or 'batched', got '" << env << "'";
+  return BatchedHsicMode::kExact;
+}
+
 void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
   Scale scale = GetScale();
   // Table VI measures one execution; keep the iteration budget modest
@@ -34,12 +54,17 @@ void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
   for (auto _ : state) {
     EstimatorConfig config = WithMethod(BaseConfig(scale, 112), spec);
     config.train.eval_every = 0;  // measure the raw optimization loop
+    config.sbrl.hsic_mode = HsicModeFromEnv();
     auto estimator = HteEstimator::Create(config);
     SBRL_CHECK(estimator.ok());
     Timer fit_timer;
     SBRL_CHECK(estimator->Fit(splits.train, &splits.valid).ok());
     if (g_json != nullptr) {
       g_json->Record(spec.name(), fit_timer.ElapsedSeconds());
+      if (config.framework != FrameworkKind::kVanilla) {
+        g_json->Record(spec.name() + "/weight_step",
+                       estimator->diagnostics().weight_step_seconds);
+      }
     }
     benchmark::DoNotOptimize(estimator->PredictAte(splits.test.x));
   }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "tensor/linalg.h"
 
 namespace sbrl {
@@ -18,18 +19,38 @@ Tape* SameTape(Var a, Var b) {
   return a.tape();
 }
 
+/// Runs body(lo, hi) over [0, n): inline below the shared serial
+/// cutoff (no std::function is constructed), parallel chunks above it.
+/// Elementwise bodies write disjoint indices, so results are
+/// independent of the worker count.
+template <typename Body>
+void ElementwiseFor(int64_t n, Body body) {
+  if (n <= kParallelSerialCutoff) {
+    body(static_cast<int64_t>(0), n);
+    return;
+  }
+  ParallelFor(0, n, kParallelSerialCutoff, body);
+}
+
 /// Generic unary elementwise op: y = f(x), dy/dx supplied as a function
 /// of (x, y) so implementations can reuse the forward value. Forward
 /// output and backward temporary both come from the tape's buffer pool.
 /// Templated on the callables (every instantiation lives in this TU) so
 /// the per-element calls inline instead of going through std::function.
+/// Large activations map forward and backward in parallel chunks.
 template <typename F, typename DF>
 Var UnaryOp(Var a, F f, DF df) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
   const Matrix& av = a.value();
   Matrix out = t->NewZero(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) out[i] = f(av[i]);
+  {
+    const double* xd = av.data();
+    double* od = out.data();
+    ElementwiseFor(av.size(), [xd, od, f](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) od[i] = f(xd[i]);
+    });
+  }
   const int ai = a.id();
   const int self = t->size();
   return t->MakeNode(std::move(out), {a}, [ai, self, df](Tape* t) {
@@ -37,7 +58,13 @@ Var UnaryOp(Var a, F f, DF df) {
     const Matrix& x = t->value(ai);
     const Matrix& y = t->value(self);
     Matrix da = t->NewZero(x.rows(), x.cols());
-    for (int64_t i = 0; i < x.size(); ++i) da[i] = g[i] * df(x[i], y[i]);
+    const double* gd = g.data();
+    const double* xd = x.data();
+    const double* yd = y.data();
+    double* dad = da.data();
+    ElementwiseFor(x.size(), [gd, xd, yd, dad, df](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) dad[i] = gd[i] * df(xd[i], yd[i]);
+    });
     t->AccumulateGrad(ai, std::move(da));
   });
 }
@@ -93,7 +120,14 @@ Var Mul(Var a, Var b) {
   const Matrix& av = a.value();
   const Matrix& bv = b.value();
   Matrix out = t->NewZero(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) out[i] = av[i] * bv[i];
+  {
+    const double* ad = av.data();
+    const double* bd = bv.data();
+    double* od = out.data();
+    ElementwiseFor(av.size(), [ad, bd, od](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) od[i] = ad[i] * bd[i];
+    });
+  }
   const int ai = a.id(), bi = b.id(), self = t->size();
   return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
     const Matrix& g = t->grad(self);
@@ -101,10 +135,17 @@ Var Mul(Var a, Var b) {
     const Matrix& bv = t->value(bi);
     Matrix da = t->NewZero(av.rows(), av.cols());
     Matrix db = t->NewZero(av.rows(), av.cols());
-    for (int64_t i = 0; i < av.size(); ++i) {
-      da[i] = g[i] * bv[i];
-      db[i] = g[i] * av[i];
-    }
+    const double* gd = g.data();
+    const double* ad = av.data();
+    const double* bd = bv.data();
+    double* dad = da.data();
+    double* dbd = db.data();
+    ElementwiseFor(av.size(), [gd, ad, bd, dad, dbd](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        dad[i] = gd[i] * bd[i];
+        dbd[i] = gd[i] * ad[i];
+      }
+    });
     t->AccumulateGrad(ai, std::move(da));
     t->AccumulateGrad(bi, std::move(db));
   });
@@ -115,7 +156,14 @@ Var Div(Var a, Var b) {
   SBRL_CHECK(a.value().same_shape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
   Matrix out = t->NewZero(a.rows(), a.cols());
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = a.value()[i] / b.value()[i];
+  {
+    const double* ad = a.value().data();
+    const double* bd = b.value().data();
+    double* od = out.data();
+    ElementwiseFor(out.size(), [ad, bd, od](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) od[i] = ad[i] / bd[i];
+    });
+  }
   const int ai = a.id(), bi = b.id(), self = t->size();
   return t->MakeNode(std::move(out), {a, b}, [ai, bi, self](Tape* t) {
     const Matrix& g = t->grad(self);
@@ -123,10 +171,17 @@ Var Div(Var a, Var b) {
     const Matrix& bv = t->value(bi);
     Matrix da = t->NewZero(av.rows(), av.cols());
     Matrix db = t->NewZero(av.rows(), av.cols());
-    for (int64_t i = 0; i < av.size(); ++i) {
-      da[i] = g[i] / bv[i];
-      db[i] = -g[i] * av[i] / (bv[i] * bv[i]);
-    }
+    const double* gd = g.data();
+    const double* ad = av.data();
+    const double* bd = bv.data();
+    double* dad = da.data();
+    double* dbd = db.data();
+    ElementwiseFor(av.size(), [gd, ad, bd, dad, dbd](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        dad[i] = gd[i] / bd[i];
+        dbd[i] = -gd[i] * ad[i] / (bd[i] * bd[i]);
+      }
+    });
     t->AccumulateGrad(ai, std::move(da));
     t->AccumulateGrad(bi, std::move(db));
   });
@@ -223,19 +278,25 @@ Var MulCol(Var a, Var col) {
     const Matrix& g = t->grad(self);
     const Matrix& av = t->value(ai);
     const Matrix& cv = t->value(ci);
-    Matrix da = t->NewZero(av.rows(), av.cols());
-    Matrix dc = t->NewZero(av.rows(), 1);
+    // The HSIC weight loss scales a large CONSTANT feature stack by the
+    // differentiable weights: skip the full-size da when nothing
+    // upstream wants it.
+    const bool need_a = t->requires_grad(ai);
+    const bool need_c = t->requires_grad(ci);
+    Matrix da, dc;
+    if (need_a) da = t->NewZero(av.rows(), av.cols());
+    if (need_c) dc = t->NewZero(av.rows(), 1);
     for (int64_t r = 0; r < av.rows(); ++r) {
       const double s = cv(r, 0);
       double acc = 0.0;
       for (int64_t c = 0; c < av.cols(); ++c) {
-        da(r, c) = g(r, c) * s;
+        if (need_a) da(r, c) = g(r, c) * s;
         acc += g(r, c) * av(r, c);
       }
-      dc(r, 0) = acc;
+      if (need_c) dc(r, 0) = acc;
     }
-    t->AccumulateGrad(ai, std::move(da));
-    t->AccumulateGrad(ci, std::move(dc));
+    if (need_a) t->AccumulateGrad(ai, std::move(da));
+    if (need_c) t->AccumulateGrad(ci, std::move(dc));
   });
 }
 
@@ -601,6 +662,144 @@ Var MatmulTransA(Var a, Var b) {
       MatmulInto(av, g, &db);  // db = a g
       t->AccumulateGrad(bi, std::move(db));
     }
+  });
+}
+
+Var BlockMatmulTransA(Var a, Var b, int64_t block,
+                      const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK_GT(block, 0);
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+  SBRL_CHECK_GT(num_pairs, 0);
+  Matrix out = t->NewZero(num_pairs * block, block);
+  BlockPairMatmulTransAInto(a.value(), b.value(), block, pairs, &out);
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, b},
+                     [ai, bi, self, block, pairs](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& av = t->value(ai);
+    const Matrix& bv = t->value(bi);
+    const bool need_a = t->requires_grad(ai);
+    const bool need_b = t->requires_grad(bi);
+    Matrix da, db;
+    if (need_a) da = t->NewZero(av.rows(), av.cols());
+    if (need_b) db = t->NewZero(bv.rows(), bv.cols());
+    BlockPairMatmulTransAGradInto(g, av, bv, block, pairs,
+                                  need_a ? &da : nullptr,
+                                  need_b ? &db : nullptr);
+    if (need_a) t->AccumulateGrad(ai, std::move(da));
+    if (need_b) t->AccumulateGrad(bi, std::move(db));
+  });
+}
+
+Var BlockWeightedCrossCov(
+    Var f, Var w, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  Tape* t = SameTape(f, w);
+  SBRL_CHECK_GT(block, 0);
+  SBRL_CHECK_EQ(w.cols(), 1);
+  SBRL_CHECK_EQ(w.rows(), f.rows());
+  const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+  SBRL_CHECK_GT(num_pairs, 0);
+  Matrix out = t->NewZero(num_pairs * block, block);
+  BlockPairWeightedCrossInto(f.value(), w.value(), block, pairs, &out);
+  const int fi = f.id(), wi = w.id(), self = t->size();
+  return t->MakeNode(std::move(out), {f, w},
+                     [fi, wi, self, block, pairs](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& fv = t->value(fi);
+    const Matrix& wv = t->value(wi);
+    const bool need_f = t->requires_grad(fi);
+    const bool need_w = t->requires_grad(wi);
+    Matrix df, dw;
+    if (need_f) df = t->NewZero(fv.rows(), fv.cols());
+    if (need_w) dw = t->NewZero(wv.rows(), 1);
+    BlockPairWeightedCrossGradInto(g, fv, wv, block, pairs,
+                                   need_f ? &df : nullptr,
+                                   need_w ? &dw : nullptr);
+    if (need_f) t->AccumulateGrad(fi, std::move(df));
+    if (need_w) t->AccumulateGrad(wi, std::move(dw));
+  });
+}
+
+Var PairHsicFrobenius(Var cross, Var means, int64_t block,
+                      const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  Tape* t = SameTape(cross, means);
+  SBRL_CHECK_GT(block, 0);
+  const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+  SBRL_CHECK(cross.rows() == num_pairs * block && cross.cols() == block)
+      << "cross blocks shape " << cross.value().ShapeString();
+  SBRL_CHECK_EQ(means.rows(), 1);
+  for (const auto& [pa, pb] : pairs) {
+    SBRL_CHECK(pa >= 0 && (pa + 1) * block <= means.cols());
+    SBRL_CHECK(pb >= 0 && (pb + 1) * block <= means.cols());
+  }
+  const Matrix& cv = cross.value();
+  const Matrix& mv = means.value();
+  const double* cd = cv.data();
+  const double* md = mv.data();
+  Matrix out = t->NewZero(1, 1);
+  double acc = 0.0;
+  for (int64_t p = 0; p < num_pairs; ++p) {
+    const double* ma = md + pairs[static_cast<size_t>(p)].first * block;
+    const double* mb = md + pairs[static_cast<size_t>(p)].second * block;
+    const double* cblock = cd + p * block * block;
+    double sub = 0.0;
+    for (int64_t r = 0; r < block; ++r) {
+      const double mar = ma[r];
+      const double* crow = cblock + r * block;
+      for (int64_t c = 0; c < block; ++c) {
+        const double v = crow[c] - mar * mb[c];
+        sub += v * v;
+      }
+    }
+    acc += sub;
+  }
+  out(0, 0) = acc;
+  const int ci = cross.id(), mi = means.id(), self = t->size();
+  return t->MakeNode(std::move(out), {cross, means},
+                     [ci, mi, self, block, pairs](Tape* t) {
+    const double g = t->grad(self).scalar();
+    const Matrix& cv = t->value(ci);
+    const Matrix& mv = t->value(mi);
+    const double* cd = cv.data();
+    const double* md = mv.data();
+    const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+    const bool need_c = t->requires_grad(ci);
+    const bool need_m = t->requires_grad(mi);
+    Matrix dc, dm;
+    if (need_c) dc = t->NewZero(cv.rows(), cv.cols());
+    if (need_m) dm = t->NewZero(1, mv.cols());
+    double* dcd = need_c ? dc.data() : nullptr;
+    double* dmd = need_m ? dm.data() : nullptr;
+    // d/d cross_p(r, c) = 2 g resid; d/d mu_a(r) = -2 g sum_c resid
+    // mu_b(c) and symmetrically for mu_b. The residual is recomputed
+    // from the stored forward values instead of being kept alive.
+    for (int64_t p = 0; p < num_pairs; ++p) {
+      const int64_t ca = pairs[static_cast<size_t>(p)].first * block;
+      const int64_t cb = pairs[static_cast<size_t>(p)].second * block;
+      const double* ma = md + ca;
+      const double* mb = md + cb;
+      const double* cblock = cd + p * block * block;
+      for (int64_t r = 0; r < block; ++r) {
+        const double mar = ma[r];
+        const double* crow = cblock + r * block;
+        double dma_acc = 0.0;
+        for (int64_t c = 0; c < block; ++c) {
+          const double resid = crow[c] - mar * mb[c];
+          const double dresid = 2.0 * g * resid;
+          if (need_c) dcd[p * block * block + r * block + c] = dresid;
+          if (need_m) {
+            dma_acc += dresid * mb[c];
+            dmd[cb + c] -= dresid * mar;
+          }
+        }
+        if (need_m) dmd[ca + r] -= dma_acc;
+      }
+    }
+    if (need_c) t->AccumulateGrad(ci, std::move(dc));
+    if (need_m) t->AccumulateGrad(mi, std::move(dm));
   });
 }
 

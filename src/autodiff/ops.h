@@ -1,6 +1,7 @@
 #ifndef SBRL_AUTODIFF_OPS_H_
 #define SBRL_AUTODIFF_OPS_H_
 
+#include <utility>
 #include <vector>
 
 #include "autodiff/tape.h"
@@ -114,6 +115,27 @@ Var Affine(Var x, Var w, Var b);
 /// HSIC-RFF weight loss, which builds weighted cross-covariances.
 Var MatmulTransA(Var a, Var b);
 
+/// Batched HSIC pair cross-products: `a` and `b` are (n x d*block)
+/// stacks of d per-feature column blocks. The result stacks, for each
+/// pair p = (ai, bi) of `pairs`, the (block x block) product
+/// a[:, ai-block]^T * b[:, bi-block] into rows [p*block, (p+1)*block).
+/// One tape node (one kernel dispatch forward, one backward) replaces a
+/// MatmulTransA node per pair on the weight-loss hot path; per-pair
+/// values are bitwise identical to the corresponding sliced
+/// MatmulTransA.
+Var BlockMatmulTransA(Var a, Var b, int64_t block,
+                      const std::vector<std::pair<int64_t, int64_t>>& pairs);
+
+/// Weighted batched pair cross-covariances E_w[U^T V]: for each pair
+/// p = (ai, bi), the (block x block) product
+/// (f[:, ai-block] .* w)^T * f[:, bi-block] stacked into rows
+/// [p*block, (p+1)*block), with `w` an (n x 1) weight column. Fuses
+/// the MulCol row-scaling of the stacked feature matrix into the block
+/// product — no n x (d*block) weighted copy on the tape — and is
+/// bitwise identical to BlockMatmulTransA(MulCol(f, w), f, ...).
+Var BlockWeightedCrossCov(Var f, Var w, int64_t block,
+                          const std::vector<std::pair<int64_t, int64_t>>& pairs);
+
 // ---------------------------------------------------------------------------
 // Fused numerical kernels.
 // ---------------------------------------------------------------------------
@@ -124,6 +146,18 @@ Var SigmoidCrossEntropyWithLogits(Var logits, const Matrix& labels);
 /// Pairwise squared Euclidean distances between rows of a (n x d) and
 /// rows of b (m x d) -> (n x m). Used by RBF-kernel MMD.
 Var PairwiseSqDist(Var a, Var b);
+
+/// Scalar HSIC-RFF pair loss from stacked cross-covariance blocks
+/// `cross` (pairs.size()*block x block, the BlockMatmulTransA layout)
+/// and weighted feature means `means` (1 x d*block):
+///   sum_p || cross_p - mu_{a_p} mu_{b_p}^T ||_F^2.
+/// Fuses the per-pair outer product, subtraction, square and sum into
+/// one node with no (block x block) temporaries. Accumulation runs
+/// pair-major with row-major element order inside each pair — the same
+/// left-fold the exact per-pair Add chain performs, so the batched loss
+/// tracks the exact loss to rounding error.
+Var PairHsicFrobenius(Var cross, Var means, int64_t block,
+                      const std::vector<std::pair<int64_t, int64_t>>& pairs);
 
 // ---------------------------------------------------------------------------
 // Composite helpers (built from primitives; gradients flow through).

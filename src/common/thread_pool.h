@@ -11,6 +11,13 @@
 
 namespace sbrl {
 
+/// Work below this many scalar operations (flops or mapped elements)
+/// runs serially inline: one chunk of this size amortizes the ~10us
+/// dispatch cost, and bench/test-sized shapes never leave the calling
+/// thread. Shared by the tensor kernels and the elementwise autodiff
+/// ops so "small" means the same thing everywhere.
+constexpr int64_t kParallelSerialCutoff = 1 << 16;
+
 /// Persistent worker-thread pool driving data-parallel loops.
 ///
 /// The pool owns `num_workers` background threads; the calling thread

@@ -20,6 +20,14 @@ const char* FrameworkName(FrameworkKind kind) {
   return "?";
 }
 
+const char* BatchedHsicModeName(BatchedHsicMode mode) {
+  switch (mode) {
+    case BatchedHsicMode::kExact: return "exact";
+    case BatchedHsicMode::kBatched: return "batched";
+  }
+  return "?";
+}
+
 std::string MethodName(BackboneKind backbone, FrameworkKind framework) {
   std::string name = BackboneName(backbone);
   if (framework != FrameworkKind::kVanilla) name += FrameworkName(framework);

@@ -27,8 +27,23 @@ enum class FrameworkKind {
 /// Integral probability metric used for representation balancing.
 enum class IpmKind { kLinearMmd, kRbfMmd };
 
+/// How the pairwise HSIC-RFF decorrelation loss L_D is evaluated.
+///
+/// kBatched stacks every feature's RFF block into one n x (d*k) matrix
+/// and measures all selected pairs through one block cross-covariance
+/// kernel — the production path. kExact keeps the original per-pair op
+/// loop as a reference. The two paths evaluate the same estimator on
+/// the same pair set and RFF draws; only floating-point summation
+/// order differs, so their losses agree to a relative tolerance of
+/// 1e-9 (enforced by ctest; see README "Weight-loss batching").
+enum class BatchedHsicMode {
+  kExact,    ///< per-pair tape ops — the reference formulation
+  kBatched,  ///< block-diagonal batched kernels (default)
+};
+
 const char* BackboneName(BackboneKind kind);
 const char* FrameworkName(FrameworkKind kind);
+const char* BatchedHsicModeName(BatchedHsicMode mode);
 
 /// Returns e.g. "CFR+SBRL-HAP" — the method names used in the paper's
 /// tables.
@@ -92,6 +107,8 @@ struct SbrlConfig {
   /// Random feature-pair subsample per decorrelation loss evaluation;
   /// 0 measures every pair (StableNet-style stochastic decorrelation).
   int64_t hsic_pair_budget = 48;
+  /// Batched vs per-pair evaluation of L_D (see BatchedHsicMode).
+  BatchedHsicMode hsic_mode = BatchedHsicMode::kBatched;
   /// Learning rate of the sample-weight learner.
   double lr_w = 5e-2;
   /// Run the weight step every k-th network step.

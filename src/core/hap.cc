@@ -30,7 +30,7 @@ Var BuildWeightLoss(Var w, const WeightLossInputs& inputs,
         loss, ops::Scale(HsicRffDecorrelationLoss(inputs.z_p, w,
                                                   config.rff_features,
                                                   config.hsic_pair_budget,
-                                                  rng),
+                                                  rng, config.hsic_mode),
                          config.gamma1));
   }
 
@@ -41,7 +41,7 @@ Var BuildWeightLoss(Var w, const WeightLossInputs& inputs,
           loss, ops::Scale(HsicRffDecorrelationLoss(inputs.z_r, w,
                                                     config.rff_features,
                                                     config.hsic_pair_budget,
-                                                    rng),
+                                                    rng, config.hsic_mode),
                            config.gamma2));
     }
     // Third priority: every remaining hidden layer.
@@ -51,7 +51,7 @@ Var BuildWeightLoss(Var w, const WeightLossInputs& inputs,
             loss, ops::Scale(HsicRffDecorrelationLoss(z, w,
                                                       config.rff_features,
                                                       config.hsic_pair_budget,
-                                                      rng),
+                                                      rng, config.hsic_mode),
                              config.gamma3));
       }
     }

@@ -3,15 +3,27 @@
 #include <utility>
 #include <vector>
 
+#include "stats/feature_pairs.h"
 #include "stats/rff.h"
 
 namespace sbrl {
 
 namespace {
 
+/// Copy of columns [start, start + count) of `m` — feeds the exact
+/// reference path, which wants standalone (n x k) feature blocks.
+Matrix CopyColumnBlock(const Matrix& m, int64_t start, int64_t count) {
+  Matrix out(m.rows(), count);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < count; ++c) out(r, c) = m(r, start + c);
+  }
+  return out;
+}
+
 /// Weighted cross-covariance Frobenius norm between constant RFF
 /// feature blocks `u`, `v` (n x k each) under normalized weights built
-/// from the differentiable node `w`.
+/// from the differentiable node `w`. The seed per-pair formulation,
+/// kept verbatim as the reference for BatchedHsicMode::kBatched.
 Var PairLoss(Tape* tape, const Matrix& u, const Matrix& v, Var w_norm) {
   Var u_const = tape->Constant(tape->NewCopy(u));
   Var v_const = tape->Constant(tape->NewCopy(v));
@@ -28,51 +40,54 @@ Var PairLoss(Tape* tape, const Matrix& u, const Matrix& v, Var w_norm) {
 }  // namespace
 
 Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
-                             int64_t pair_budget, Rng& rng) {
+                             int64_t pair_budget, Rng& rng,
+                             BatchedHsicMode mode) {
   Tape* tape = w.tape();
   SBRL_CHECK(w.valid());
   SBRL_CHECK_EQ(w.cols(), 1);
   SBRL_CHECK_EQ(w.rows(), z.rows());
   SBRL_CHECK_GT(rff_features, 0);
   const int64_t d = z.cols();
+  const int64_t k = rff_features;
   if (d < 2) return tape->Constant(Matrix::Zeros(1, 1));
 
   // Normalized weights are shared by every pair term.
   Var w_norm = ops::DivScalar(w, ops::SumAll(w));
 
-  // Random cosine features per column, drawn fresh for this evaluation
-  // and read through strided column views (no Col copies).
-  std::vector<Matrix> features(static_cast<size_t>(d));
-  for (int64_t c = 0; c < d; ++c) {
-    RffProjection proj = SampleRff(rng, 1, rff_features);
-    features[static_cast<size_t>(c)] = ApplyRffToColumn(proj, z, c);
+  // Pair subset first, then one fresh RFF draw per feature the subset
+  // actually uses (ascending column order, strided column reads
+  // straight into the stack) — a small budget on a wide layer skips
+  // most of the cosine work. Both modes consume `rng` in exactly this
+  // order, so they see identical pairs and features.
+  FeaturePairSelection sel = SelectFeaturePairs(d, pair_budget, rng);
+  CompactPairBlocks blocks = CompactUsedColumns(d, sel.pairs);
+  const std::vector<std::pair<int64_t, int64_t>>& block_pairs =
+      blocks.block_pairs;
+  // F = [u_c0 | u_c1 | ...] over the used columns (n x n_used*k).
+  Matrix stacked(z.rows(),
+                 static_cast<int64_t>(blocks.used_cols.size()) * k);
+  StackRffColumns(z, blocks.used_cols, k, rng, &stacked);
+
+  if (mode == BatchedHsicMode::kExact) {
+    Var loss = tape->Constant(Matrix::Zeros(1, 1));
+    for (const auto& [a, b] : block_pairs) {
+      loss = ops::Add(loss, PairLoss(tape, CopyColumnBlock(stacked, a * k, k),
+                                     CopyColumnBlock(stacked, b * k, k),
+                                     w_norm));
+    }
+    // Rescale a sampled subset to estimate the full pairwise sum.
+    return ops::Scale(loss, sel.Rescale());
   }
 
-  std::vector<std::pair<int64_t, int64_t>> pairs;
-  for (int64_t a = 0; a < d; ++a) {
-    for (int64_t b = a + 1; b < d; ++b) pairs.emplace_back(a, b);
-  }
-  const int64_t total_pairs = static_cast<int64_t>(pairs.size());
-  int64_t used_pairs = total_pairs;
-  if (pair_budget > 0 && pair_budget < total_pairs) {
-    used_pairs = pair_budget;
-    std::vector<int64_t> chosen =
-        rng.SampleWithoutReplacement(total_pairs, used_pairs);
-    std::vector<std::pair<int64_t, int64_t>> subset;
-    subset.reserve(static_cast<size_t>(used_pairs));
-    for (int64_t idx : chosen) subset.push_back(pairs[static_cast<size_t>(idx)]);
-    pairs.swap(subset);
-  }
-
-  Var loss = tape->Constant(Matrix::Zeros(1, 1));
-  for (const auto& [a, b] : pairs) {
-    loss = ops::Add(loss, PairLoss(tape, features[static_cast<size_t>(a)],
-                                   features[static_cast<size_t>(b)], w_norm));
-  }
-  // Rescale a sampled subset to estimate the full pairwise sum.
-  const double rescale =
-      static_cast<double>(total_pairs) / static_cast<double>(used_pairs);
-  return ops::Scale(loss, rescale);
+  // Batched block-diagonal path: E_w[U^T V], E_w[U] and E_w[V] for all
+  // selected pairs land in two kernel dispatches — one fused
+  // weighted block cross-product over every pair and one means product
+  // — instead of O(pairs) sub-64K-flop tape ops.
+  Var f_const = tape->Constant(std::move(stacked));
+  Var cross = ops::BlockWeightedCrossCov(f_const, w_norm, k, block_pairs);
+  Var means = ops::MatmulTransA(w_norm, f_const);  // 1 x n_used*k
+  Var loss = ops::PairHsicFrobenius(cross, means, k, block_pairs);
+  return ops::Scale(loss, sel.Rescale());
 }
 
 }  // namespace sbrl

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "autodiff/ops.h"
+#include "core/config.h"
 #include "tensor/random.h"
 
 namespace sbrl {
@@ -23,8 +24,18 @@ namespace sbrl {
 /// `pair_budget > 0` measures only that many uniformly sampled pairs
 /// and rescales to the full-pair total, keeping the per-step cost
 /// bounded for wide layers; 0 measures every pair.
+///
+/// `mode` selects the evaluation strategy. kBatched (default) stacks
+/// all per-column RFF blocks into one n x (d*k) matrix and measures
+/// every selected pair through one block cross-covariance node —
+/// O(pairs) small tape ops collapse into three kernel dispatches.
+/// kExact keeps the per-pair op loop as the reference. Both modes
+/// consume `rng` identically (same RFF draws, same pair subset) and
+/// agree to a relative tolerance of 1e-9 — only FP summation order
+/// differs (see README "Weight-loss batching").
 Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
-                             int64_t pair_budget, Rng& rng);
+                             int64_t pair_budget, Rng& rng,
+                             BatchedHsicMode mode = BatchedHsicMode::kBatched);
 
 }  // namespace sbrl
 

@@ -113,6 +113,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
 
     // ----- Step B (Algorithm 1 lines 6-7): sample weights. -----
     if (learn_weights && iter % config_.sbrl.weight_update_every == 0) {
+      Timer weight_timer;
       WeightLossInputs inputs;
       inputs.z_p = fwd.z_p.value();
       inputs.z_r = fwd.rep.value();
@@ -131,6 +132,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
       w_binder.FlushGrads();
       opt_w.Step(config_.sbrl.lr_w);
       weights.Project();
+      diag->weight_step_seconds += weight_timer.ElapsedSeconds();
     }
 
     // ----- Early stopping / diagnostics. -----

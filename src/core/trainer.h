@@ -24,6 +24,12 @@ struct TrainDiagnostics {
   int64_t best_iteration = -1;
   /// Wall-clock seconds spent inside Train().
   double train_seconds = 0.0;
+  /// Wall-clock seconds of `train_seconds` spent inside the
+  /// sample-weight step (Algorithm 1 step B: building, differentiating
+  /// and applying L_w). The weight-loss share of training is
+  /// weight_step_seconds / train_seconds; BENCH_table6.json records
+  /// both so the batched-HSIC win is tracked across PRs.
+  double weight_step_seconds = 0.0;
 };
 
 /// Runs the paper's Algorithm 1: alternating full-batch optimization of

@@ -3,7 +3,8 @@
 #include <cmath>
 #include <vector>
 
-#include "stats/hsic.h"
+#include "stats/rff.h"
+#include "stats/weighted.h"
 #include "tensor/linalg.h"
 
 namespace sbrl {
@@ -46,14 +47,21 @@ Matrix PairwiseHsicRffMatrix(const Matrix& x, const Matrix& w,
     dims.resize(static_cast<size_t>(d));
     for (int64_t i = 0; i < d; ++i) dims[static_cast<size_t>(i)] = i;
   }
+  // Per-pair fresh RFF draws exactly as WeightedHsicRff makes them
+  // (same rng consumption order), but the columns are read in place
+  // through strided ApplyRffToColumn views — no Matrix::Col copies.
   Matrix out(d, d);
   for (int64_t i = 0; i < d; ++i) {
     for (int64_t j = i + 1; j < d; ++j) {
-      const double h = WeightedHsicRff(x.Col(dims[static_cast<size_t>(i)]),
-                                       x.Col(dims[static_cast<size_t>(j)]),
-                                       w, num_features, rng);
-      out(i, j) = h;
-      out(j, i) = h;
+      RffProjection proj_a = SampleRff(rng, 1, num_features);
+      RffProjection proj_b = SampleRff(rng, 1, num_features);
+      Matrix u = ApplyRffToColumn(proj_a, x, dims[static_cast<size_t>(i)]);
+      Matrix v = ApplyRffToColumn(proj_b, x, dims[static_cast<size_t>(j)]);
+      Matrix cov = WeightedCrossCovariance(u, v, w);
+      double frob2 = 0.0;
+      for (int64_t e = 0; e < cov.size(); ++e) frob2 += cov[e] * cov[e];
+      out(i, j) = frob2;
+      out(j, i) = frob2;
     }
   }
   return out;

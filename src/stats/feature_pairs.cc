@@ -1,0 +1,78 @@
+#include "stats/feature_pairs.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace sbrl {
+
+double FeaturePairSelection::Rescale() const {
+  SBRL_CHECK(!pairs.empty());
+  return static_cast<double>(total_pairs) /
+         static_cast<double>(pairs.size());
+}
+
+FeaturePairSelection SelectFeaturePairs(int64_t d, int64_t budget, Rng& rng) {
+  SBRL_CHECK_GE(d, 2);
+  FeaturePairSelection out;
+  out.total_pairs = d * (d - 1) / 2;
+  if (budget <= 0 || budget >= out.total_pairs) {
+    // Budget covers everything: enumerate directly, no sampling, no
+    // randomness consumed.
+    out.pairs.reserve(static_cast<size_t>(out.total_pairs));
+    for (int64_t a = 0; a < d; ++a) {
+      for (int64_t b = a + 1; b < d; ++b) out.pairs.emplace_back(a, b);
+    }
+    return out;
+  }
+  // Rejection-sample `budget` distinct pair indices. budget <
+  // total_pairs here, and the regularizer's defaults keep budget well
+  // below total on wide layers, so collisions are rare and the cost
+  // stays O(budget) — SampleWithoutReplacement would materialize and
+  // shuffle all O(d^2) pair indices per loss evaluation.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(budget));
+  out.pairs.reserve(static_cast<size_t>(budget));
+  while (static_cast<int64_t>(out.pairs.size()) < budget) {
+    const int64_t idx = rng.UniformInt(0, out.total_pairs - 1);
+    if (!seen.insert(idx).second) continue;
+    // Invert the row-major enumeration index: pair (a, b) with a < b
+    // occupies slot sum_{i<a}(d-1-i) + (b-a-1).
+    int64_t a = 0;
+    int64_t remaining = idx;
+    while (remaining >= d - 1 - a) {
+      remaining -= d - 1 - a;
+      ++a;
+    }
+    out.pairs.emplace_back(a, a + 1 + remaining);
+  }
+  SBRL_CHECK_EQ(static_cast<int64_t>(seen.size()), budget)
+      << "sampled pair subset is not duplicate-free";
+  return out;
+}
+
+CompactPairBlocks CompactUsedColumns(
+    int64_t d, const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  CompactPairBlocks out;
+  std::vector<int64_t> compact(static_cast<size_t>(d), -1);
+  for (const auto& [a, b] : pairs) {
+    SBRL_CHECK(a >= 0 && a < d && b >= 0 && b < d);
+    compact[static_cast<size_t>(a)] = 0;
+    compact[static_cast<size_t>(b)] = 0;
+  }
+  int64_t n_used = 0;
+  out.used_cols.reserve(static_cast<size_t>(d));
+  for (int64_t c = 0; c < d; ++c) {
+    if (compact[static_cast<size_t>(c)] < 0) continue;
+    compact[static_cast<size_t>(c)] = n_used++;
+    out.used_cols.push_back(c);
+  }
+  out.block_pairs.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    out.block_pairs.emplace_back(compact[static_cast<size_t>(a)],
+                                 compact[static_cast<size_t>(b)]);
+  }
+  return out;
+}
+
+}  // namespace sbrl

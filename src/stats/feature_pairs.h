@@ -1,0 +1,53 @@
+#ifndef SBRL_STATS_FEATURE_PAIRS_H_
+#define SBRL_STATS_FEATURE_PAIRS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace sbrl {
+
+/// The unordered feature pairs (a < b) measured by one evaluation of a
+/// pairwise HSIC statistic, plus the full-pair count the subsampled sum
+/// is rescaled to.
+struct FeaturePairSelection {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  /// d * (d - 1) / 2, regardless of how many pairs were kept.
+  int64_t total_pairs = 0;
+
+  /// total_pairs / pairs.size() — the unbiasedness rescale for a
+  /// subsampled pair sum (1 when every pair is measured).
+  double Rescale() const;
+};
+
+/// Enumerates the d*(d-1)/2 unordered column pairs of a d-column
+/// matrix. When `budget` is in (0, total_pairs), a uniform subset of
+/// `budget` pairs is drawn from `rng` (consuming randomness only in
+/// that case, O(budget) work — no O(d^2) index materialization);
+/// otherwise every pair is returned directly and the sampling path is
+/// skipped entirely. The returned pair list is CHECKed duplicate-free.
+/// `d >= 2`.
+FeaturePairSelection SelectFeaturePairs(int64_t d, int64_t budget, Rng& rng);
+
+/// The columns a pair subset touches, remapped to a compact block
+/// index space for the stacked feature matrix of the batched HSIC
+/// kernels: `used_cols` lists the touched columns in ASCENDING order
+/// (the order feature projections are drawn in, which both the tape
+/// and stats evaluation paths rely on for identical rng consumption),
+/// and `block_pairs[p]` is `pairs[p]` rewritten in positions into
+/// `used_cols`.
+struct CompactPairBlocks {
+  std::vector<int64_t> used_cols;
+  std::vector<std::pair<int64_t, int64_t>> block_pairs;
+};
+
+/// Builds the compact column mapping for a pair subset over `d`
+/// columns.
+CompactPairBlocks CompactUsedColumns(
+    int64_t d, const std::vector<std::pair<int64_t, int64_t>>& pairs);
+
+}  // namespace sbrl
+
+#endif  // SBRL_STATS_FEATURE_PAIRS_H_

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "stats/feature_pairs.h"
 #include "stats/kernels.h"
 #include "stats/weighted.h"
 #include "tensor/linalg.h"
@@ -73,67 +74,49 @@ double PairwiseWeightedHsicRff(const Matrix& x, const Matrix& w,
                                int64_t num_features, Rng& rng,
                                int64_t max_pairs) {
   const int64_t d = x.cols();
+  const int64_t k = num_features;
   SBRL_CHECK_GT(d, 1);
   SBRL_CHECK_EQ(x.rows(), w.rows());
-  std::vector<std::pair<int64_t, int64_t>> pairs;
-  for (int64_t a = 0; a < d; ++a) {
-    for (int64_t b = a + 1; b < d; ++b) pairs.emplace_back(a, b);
-  }
-  const int64_t total = static_cast<int64_t>(pairs.size());
-  int64_t use = total;
-  if (max_pairs > 0 && max_pairs < total) {
-    use = max_pairs;
-    std::vector<int64_t> chosen = rng.SampleWithoutReplacement(total, use);
-    std::vector<std::pair<int64_t, int64_t>> subset;
-    subset.reserve(static_cast<size_t>(use));
-    for (int64_t idx : chosen) {
-      subset.push_back(pairs[static_cast<size_t>(idx)]);
-    }
-    pairs.swap(subset);
-  }
+  FeaturePairSelection sel = SelectFeaturePairs(d, max_pairs, rng);
 
-  // Everything that depends on a single feature is hoisted out of the
-  // pair loop: one projection per feature (shared by every pair that
-  // touches it, where the seed resampled and re-applied the RFF
-  // transform per pair), the weight-scaled features, and the weighted
-  // feature means — computed lazily, in ascending column order, only
-  // for features the (possibly subsampled) pair set actually uses.
-  std::vector<bool> used(static_cast<size_t>(d), false);
-  for (const auto& [a, b] : pairs) {
-    used[static_cast<size_t>(a)] = true;
-    used[static_cast<size_t>(b)] = true;
-  }
+  // The statistic mirrors the batched block-diagonal formulation of
+  // HsicRffDecorrelationLoss: features the (possibly subsampled) pair
+  // set actually uses are stacked — one fresh projection per feature,
+  // drawn lazily in ascending column order, read through strided
+  // column views — and every pair's cross-covariance block comes out
+  // of ONE fused BlockPairWeightedCrossInto dispatch instead of a
+  // per-pair matmul loop.
+  CompactPairBlocks blocks = CompactUsedColumns(d, sel.pairs);
+  const std::vector<std::pair<int64_t, int64_t>>& block_pairs =
+      blocks.block_pairs;
+  Matrix stacked(x.rows(),
+                 static_cast<int64_t>(blocks.used_cols.size()) * k);
+  StackRffColumns(x, blocks.used_cols, k, rng, &stacked);
   Matrix wn = NormalizeWeights(w);
-  std::vector<Matrix> feats(static_cast<size_t>(d));
-  std::vector<Matrix> feats_w(static_cast<size_t>(d));  // rows scaled by wn
-  std::vector<Matrix> means(static_cast<size_t>(d));    // (1 x k) E_w[u]
-  for (int64_t c = 0; c < d; ++c) {
-    if (!used[static_cast<size_t>(c)]) continue;
-    RffProjection proj = SampleRff(rng, 1, num_features);
-    Matrix u = ApplyRffToColumn(proj, x, c);
-    feats_w[static_cast<size_t>(c)] = MulColBroadcast(u, wn);
-    means[static_cast<size_t>(c)] = MatmulTransA(wn, u);
-    feats[static_cast<size_t>(c)] = std::move(u);
-  }
+  Matrix means = MatmulTransA(wn, stacked);  // (1 x n_used*k)
+
+  const int64_t num_pairs = static_cast<int64_t>(block_pairs.size());
+  Matrix cross(num_pairs * k, k);
+  BlockPairWeightedCrossInto(stacked, wn, k, block_pairs, &cross);
+
   double acc = 0.0;
-  for (const auto& [a, b] : pairs) {
+  for (int64_t p = 0; p < num_pairs; ++p) {
     // Squared Frobenius norm of E_w[u v^T] - E_w[u] E_w[v]^T.
-    const Matrix& ua = feats_w[static_cast<size_t>(a)];
-    const Matrix& vb = feats[static_cast<size_t>(b)];
-    Matrix cov = MatmulTransA(ua, vb);  // (k x k)
-    const Matrix& ea = means[static_cast<size_t>(a)];
-    const Matrix& eb = means[static_cast<size_t>(b)];
+    const double* ea = means.data() + block_pairs[static_cast<size_t>(p)].first * k;
+    const double* eb = means.data() + block_pairs[static_cast<size_t>(p)].second * k;
+    const double* cblock = cross.data() + p * k * k;
     double frob2 = 0.0;
-    for (int64_t i = 0; i < cov.rows(); ++i) {
-      for (int64_t j = 0; j < cov.cols(); ++j) {
-        const double v = cov(i, j) - ea(0, i) * eb(0, j);
+    for (int64_t i = 0; i < k; ++i) {
+      const double* crow = cblock + i * k;
+      for (int64_t j = 0; j < k; ++j) {
+        const double v = crow[j] - ea[i] * eb[j];
         frob2 += v * v;
       }
     }
     acc += frob2;
   }
   // Rescale a sampled subset to estimate the full-pair sum.
-  return acc * static_cast<double>(total) / static_cast<double>(use);
+  return acc * sel.Rescale();
 }
 
 }  // namespace sbrl

@@ -35,7 +35,10 @@ double WeightedHsicRff(const Matrix& a, const Matrix& b, const Matrix& w,
 /// `x` (n x d) — the paper's decorrelation loss L_D (Eq. 10) as a
 /// diagnostic statistic. If `max_pairs > 0`, a uniformly random subset
 /// of that many pairs is measured and the sum is rescaled to the full
-/// pair count.
+/// pair count. Evaluated through the batched block-diagonal kernel
+/// (one stacked feature matrix, one cross-product dispatch for every
+/// pair) — the non-differentiable mirror of the kBatched mode of
+/// HsicRffDecorrelationLoss.
 double PairwiseWeightedHsicRff(const Matrix& x, const Matrix& w,
                                int64_t num_features, Rng& rng,
                                int64_t max_pairs = 0);

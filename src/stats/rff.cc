@@ -1,7 +1,10 @@
 #include "stats/rff.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "tensor/linalg.h"
 
 namespace sbrl {
@@ -42,24 +45,60 @@ Matrix ApplyRff(const RffProjection& proj, const Matrix& x) {
 
 Matrix ApplyRffToColumn(const RffProjection& proj, const Matrix& x,
                         int64_t col) {
+  Matrix out(x.rows(), proj.num_features());
+  ApplyRffToColumnInto(proj, x, col, &out, 0);
+  return out;
+}
+
+void ApplyRffToColumnInto(const RffProjection& proj, const Matrix& x,
+                          int64_t col, Matrix* out, int64_t col_offset) {
   SBRL_CHECK_EQ(proj.in_dim(), 1);
   SBRL_CHECK(col >= 0 && col < x.cols());
   const int64_t n = x.rows(), kf = proj.num_features();
+  SBRL_CHECK_EQ(out->rows(), n);
+  SBRL_CHECK(col_offset >= 0 && col_offset + kf <= out->cols())
+      << "feature block [" << col_offset << ", " << col_offset + kf
+      << ") out of range for " << out->ShapeString();
   const double root2 = std::sqrt(2.0);
   const double* xcol = x.data() + col;
   const int64_t stride = x.cols();
   const double* wd = proj.w.data();
   const double* phid = proj.phi.data();
-  Matrix out(n, kf);
-  double* od = out.data();
+  const int64_t ocols = out->cols();
+  double* od = out->data() + col_offset;
   for (int64_t i = 0; i < n; ++i) {
     const double v = xcol[i * stride];
-    double* orow = od + i * kf;
+    double* orow = od + i * ocols;
     for (int64_t f = 0; f < kf; ++f) {
       orow[f] = root2 * std::cos(v * wd[f] + phid[f]);
     }
   }
-  return out;
+}
+
+void StackRffColumns(const Matrix& x, const std::vector<int64_t>& cols,
+                     int64_t num_features, Rng& rng, Matrix* out) {
+  const int64_t n_cols = static_cast<int64_t>(cols.size());
+  const int64_t k = num_features;
+  SBRL_CHECK_EQ(out->rows(), x.rows());
+  SBRL_CHECK_EQ(out->cols(), n_cols * k);
+  // Projections come out of `rng` serially so the stream never depends
+  // on the worker count; only the cosine evaluation is parallel.
+  std::vector<RffProjection> projs;
+  projs.reserve(static_cast<size_t>(n_cols));
+  for (int64_t i = 0; i < n_cols; ++i) projs.push_back(SampleRff(rng, 1, k));
+  // A cosine costs ~2 cache-blocked flops' worth of several multiply-
+  // adds; weigh it so the serial cutoff engages at comparable wall
+  // cost to the matmul kernels.
+  constexpr int64_t kCosWeight = 16;
+  const int64_t work_per_col = x.rows() * k * kCosWeight;
+  const int64_t grain = std::max<int64_t>(
+      1, kParallelSerialCutoff / std::max<int64_t>(1, work_per_col));
+  ParallelFor(0, n_cols, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      ApplyRffToColumnInto(projs[static_cast<size_t>(i)], x,
+                           cols[static_cast<size_t>(i)], out, i * k);
+    }
+  });
 }
 
 }  // namespace sbrl

@@ -33,6 +33,25 @@ Matrix ApplyRff(const RffProjection& proj, const Matrix& x);
 Matrix ApplyRffToColumn(const RffProjection& proj, const Matrix& x,
                         int64_t col);
 
+/// ApplyRffToColumn writing its (n x num_features) block into columns
+/// [col_offset, col_offset + num_features) of `*out` (n rows) instead
+/// of allocating. Lets callers assemble the stacked n x (d * k) feature
+/// matrix of the batched HSIC pair loss with one buffer and no
+/// per-feature copies. Values are bitwise identical to
+/// ApplyRffToColumn.
+void ApplyRffToColumnInto(const RffProjection& proj, const Matrix& x,
+                          int64_t col, Matrix* out, int64_t col_offset);
+
+/// Builds the stacked feature matrix of the batched HSIC pair loss:
+/// block i of `*out` (columns [i*k, (i+1)*k), k = num_features) holds
+/// the RFF features of column cols[i] of `x`. One projection per
+/// column is drawn from `rng` serially in list order — the stream is
+/// independent of threading — and the cosine evaluation (the dominant
+/// cost of the decorrelation loss) fans out across the pool for large
+/// stacks. `*out` must be (x.rows() x cols.size()*k).
+void StackRffColumns(const Matrix& x, const std::vector<int64_t>& cols,
+                     int64_t num_features, Rng& rng, Matrix* out);
+
 }  // namespace sbrl
 
 #endif  // SBRL_STATS_RFF_H_

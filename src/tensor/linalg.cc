@@ -15,9 +15,8 @@ namespace {
 constexpr int64_t kJBlock = 128;
 constexpr int64_t kTransposeTile = 32;
 
-// Work below this many scalar multiply-adds (or mapped elements) runs
-// serially inline — bench/test-sized shapes never pay thread dispatch.
-constexpr int64_t kSerialCutoff = 1 << 16;
+// See common/thread_pool.h: shared serial-inline threshold.
+constexpr int64_t kSerialCutoff = kParallelSerialCutoff;
 
 /// Rows per parallel chunk so one chunk carries ~kSerialCutoff flops.
 int64_t GrainRows(int64_t flops_per_row) {
@@ -265,6 +264,216 @@ Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
   Matrix out(a.cols(), b.cols());
   MatmulTransAInto(a, b, &out);
   return out;
+}
+
+void BlockPairMatmulTransAInto(
+    const Matrix& a, const Matrix& b, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* out) {
+  SBRL_CHECK_GT(block, 0);
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  const int64_t n = a.rows();
+  const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+  SBRL_CHECK(out->rows() == num_pairs * block && out->cols() == block)
+      << "BlockPairMatmulTransA output shape " << out->ShapeString();
+  for (const auto& [pa, pb] : pairs) {
+    SBRL_CHECK(pa >= 0 && (pa + 1) * block <= a.cols())
+        << "pair block " << pa << " out of range for " << a.ShapeString();
+    SBRL_CHECK(pb >= 0 && (pb + 1) * block <= b.cols())
+        << "pair block " << pb << " out of range for " << b.ShapeString();
+  }
+  if (n == 0 || num_pairs == 0) return;
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out->data();
+  const int64_t acols = a.cols(), bcols = b.cols();
+  const std::pair<int64_t, int64_t>* pd = pairs.data();
+  // Each pair's (block x block) slab is contiguous in the stacked
+  // output, and the reduction over n stays innermost-ascending per
+  // element (bitwise MatmulTransA-identical).
+  const auto run_pairs = [=](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t ca = pd[p].first * block;
+      const int64_t cb = pd[p].second * block;
+      double* oblock = od + p * block * block;
+      for (int64_t i = 0; i < n; ++i) {
+        const double* arow = ad + i * acols + ca;
+        const double* brow = bd + i * bcols + cb;
+        for (int64_t r = 0; r < block; ++r) {
+          const double av = arow[r];
+          double* orow = oblock + r * block;
+          for (int64_t c = 0; c < block; ++c) orow[c] += av * brow[c];
+        }
+      }
+    }
+  };
+  const int64_t flops_per_pair = n * block * block;
+  if (num_pairs * flops_per_pair <= kSerialCutoff) {
+    run_pairs(0, num_pairs);
+    return;
+  }
+  ParallelFor(0, num_pairs, GrainRows(flops_per_pair), run_pairs);
+}
+
+void BlockPairMatmulTransAGradInto(
+    const Matrix& g, const Matrix& a, const Matrix& b, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* da,
+    Matrix* db) {
+  SBRL_CHECK_GT(block, 0);
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  const int64_t n = a.rows();
+  const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+  SBRL_CHECK(g.rows() == num_pairs * block && g.cols() == block)
+      << "BlockPairMatmulTransAGrad gradient shape " << g.ShapeString();
+  if (da != nullptr) SBRL_CHECK(da->same_shape(a));
+  if (db != nullptr) SBRL_CHECK(db->same_shape(b));
+  if (n == 0 || num_pairs == 0 || (da == nullptr && db == nullptr)) return;
+  const double* gd = g.data();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* dad = da != nullptr ? da->data() : nullptr;
+  double* dbd = db != nullptr ? db->data() : nullptr;
+  const int64_t acols = a.cols(), bcols = b.cols();
+  const std::pair<int64_t, int64_t>* pd = pairs.data();
+  // Row-parallel: a worker owns whole rows of da/db, so two pairs that
+  // touch the same feature block accumulate without racing.
+  const int64_t flops_per_row = num_pairs * block * block;
+  const auto run_rows = [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      for (int64_t p = 0; p < num_pairs; ++p) {
+        const int64_t ca = pd[p].first * block;
+        const int64_t cb = pd[p].second * block;
+        const double* gblock = gd + p * block * block;
+        const double* arow = ad + i * acols + ca;
+        const double* brow = bd + i * bcols + cb;
+        if (dad != nullptr) {
+          double* darow = dad + i * acols + ca;
+          for (int64_t r = 0; r < block; ++r) {
+            const double* grow = gblock + r * block;
+            double acc = 0.0;
+            for (int64_t c = 0; c < block; ++c) acc += grow[c] * brow[c];
+            darow[r] += acc;
+          }
+        }
+        if (dbd != nullptr) {
+          double* dbrow = dbd + i * bcols + cb;
+          for (int64_t r = 0; r < block; ++r) {
+            const double av = arow[r];
+            const double* grow = gblock + r * block;
+            for (int64_t c = 0; c < block; ++c) dbrow[c] += av * grow[c];
+          }
+        }
+      }
+    }
+  };
+  if (n * flops_per_row <= kSerialCutoff) {
+    run_rows(0, n);
+    return;
+  }
+  ParallelFor(0, n, GrainRows(flops_per_row), run_rows);
+}
+
+void BlockPairWeightedCrossInto(
+    const Matrix& f, const Matrix& w, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* out) {
+  SBRL_CHECK_GT(block, 0);
+  SBRL_CHECK_EQ(w.cols(), 1);
+  SBRL_CHECK_EQ(w.rows(), f.rows());
+  const int64_t n = f.rows();
+  const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+  SBRL_CHECK(out->rows() == num_pairs * block && out->cols() == block)
+      << "BlockPairWeightedCross output shape " << out->ShapeString();
+  for (const auto& [pa, pb] : pairs) {
+    SBRL_CHECK(pa >= 0 && (pa + 1) * block <= f.cols())
+        << "pair block " << pa << " out of range for " << f.ShapeString();
+    SBRL_CHECK(pb >= 0 && (pb + 1) * block <= f.cols())
+        << "pair block " << pb << " out of range for " << f.ShapeString();
+  }
+  if (n == 0 || num_pairs == 0) return;
+  const double* fd = f.data();
+  const double* wd = w.data();
+  double* od = out->data();
+  const int64_t fcols = f.cols();
+  const std::pair<int64_t, int64_t>* pd = pairs.data();
+  const auto run_pairs = [=](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t ca = pd[p].first * block;
+      const int64_t cb = pd[p].second * block;
+      double* oblock = od + p * block * block;
+      for (int64_t i = 0; i < n; ++i) {
+        const double* frow = fd + i * fcols;
+        const double wi = wd[i];
+        for (int64_t r = 0; r < block; ++r) {
+          const double av = frow[ca + r] * wi;
+          const double* brow = frow + cb;
+          double* orow = oblock + r * block;
+          for (int64_t c = 0; c < block; ++c) orow[c] += av * brow[c];
+        }
+      }
+    }
+  };
+  const int64_t flops_per_pair = n * block * block;
+  if (num_pairs * flops_per_pair <= kSerialCutoff) {
+    run_pairs(0, num_pairs);
+    return;
+  }
+  ParallelFor(0, num_pairs, GrainRows(flops_per_pair), run_pairs);
+}
+
+void BlockPairWeightedCrossGradInto(
+    const Matrix& g, const Matrix& f, const Matrix& w, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* df,
+    Matrix* dw) {
+  SBRL_CHECK_GT(block, 0);
+  SBRL_CHECK_EQ(w.cols(), 1);
+  SBRL_CHECK_EQ(w.rows(), f.rows());
+  const int64_t n = f.rows();
+  const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+  SBRL_CHECK(g.rows() == num_pairs * block && g.cols() == block)
+      << "BlockPairWeightedCrossGrad gradient shape " << g.ShapeString();
+  if (df != nullptr) SBRL_CHECK(df->same_shape(f));
+  if (dw != nullptr) SBRL_CHECK(dw->same_shape(w));
+  if (n == 0 || num_pairs == 0 || (df == nullptr && dw == nullptr)) return;
+  const double* gd = g.data();
+  const double* fd = f.data();
+  const double* wd = w.data();
+  double* dfd = df != nullptr ? df->data() : nullptr;
+  double* dwd = dw != nullptr ? dw->data() : nullptr;
+  const int64_t fcols = f.cols();
+  const std::pair<int64_t, int64_t>* pd = pairs.data();
+  const int64_t flops_per_row = num_pairs * block * block;
+  const auto run_rows = [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* frow = fd + i * fcols;
+      const double wi = wd[i];
+      double dw_acc = 0.0;
+      for (int64_t p = 0; p < num_pairs; ++p) {
+        const int64_t ca = pd[p].first * block;
+        const int64_t cb = pd[p].second * block;
+        const double* gblock = gd + p * block * block;
+        for (int64_t r = 0; r < block; ++r) {
+          const double* grow = gblock + r * block;
+          // s_r = sum_c g_p(r, c) f(i, bc) feeds both dw and df.
+          double s = 0.0;
+          for (int64_t c = 0; c < block; ++c) s += grow[c] * frow[cb + c];
+          dw_acc += frow[ca + r] * s;
+          if (dfd != nullptr) {
+            double* dfrow = dfd + i * fcols;
+            dfrow[ca + r] += wi * s;
+            const double av = wi * frow[ca + r];
+            for (int64_t c = 0; c < block; ++c) {
+              dfrow[cb + c] += av * grow[c];
+            }
+          }
+        }
+      }
+      if (dwd != nullptr) dwd[i] += dw_acc;
+    }
+  };
+  if (n * flops_per_row <= kSerialCutoff) {
+    run_rows(0, n);
+    return;
+  }
+  ParallelFor(0, n, GrainRows(flops_per_row), run_rows);
 }
 
 void MatmulTransBInto(const Matrix& a, const Matrix& b, Matrix* out) {

@@ -2,6 +2,7 @@
 #define SBRL_TENSOR_LINALG_H_
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -28,6 +29,56 @@ Matrix MatmulTransB(const Matrix& a, const Matrix& b);
 void MatmulInto(const Matrix& a, const Matrix& b, Matrix* out);
 void MatmulTransAInto(const Matrix& a, const Matrix& b, Matrix* out);
 void MatmulTransBInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Batched block cross-products for the HSIC-RFF pair loss. `a` and `b`
+/// are (n x d*block) stacks of d per-feature column blocks of `block`
+/// columns each. For pair index p with `pairs[p] = (ai, bi)`, the
+/// (block x block) product a[:, ai-block]^T * b[:, bi-block] is ADDED
+/// into rows [p*block, (p+1)*block) of `*out`, which must be
+/// (pairs.size()*block x block). All pairs run in ONE parallel
+/// dispatch; every output element accumulates its n terms in ascending
+/// row order, so each pair's block is bitwise identical to
+/// MatmulTransA on the corresponding column slices, independent of
+/// thread count.
+void BlockPairMatmulTransAInto(
+    const Matrix& a, const Matrix& b, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* out);
+
+/// Adjoint of BlockPairMatmulTransAInto: given the upstream gradient
+/// `g` (pairs.size()*block x block), accumulates
+///   da[:, ai-block] += b[:, bi-block] * g_p^T
+///   db[:, bi-block] += a[:, ai-block] * g_p
+/// for every pair p = (ai, bi). `da` / `db` may be null to skip that
+/// side. Parallel over sample rows — each worker owns disjoint rows of
+/// da/db, so pairs that share a feature block never race.
+void BlockPairMatmulTransAGradInto(
+    const Matrix& g, const Matrix& a, const Matrix& b, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* da,
+    Matrix* db);
+
+/// Weighted block cross-products E_w[U^T V] for every pair in one
+/// dispatch: ADDs (f[:, ai-block] .* w)^T * f[:, bi-block] into rows
+/// [p*block, (p+1)*block) of `*out` for each pair p = (ai, bi), where
+/// `w` is an (n x 1) weight column scaling each sample row. Fuses the
+/// row scaling into the product, so no weighted copy of `f` is ever
+/// materialized. Each scalar term is (f(i, ar) * w(i)) * f(i, bc) with
+/// the n terms accumulated in ascending row order — bitwise identical
+/// to MulColBroadcast followed by MatmulTransA on the column slices.
+void BlockPairWeightedCrossInto(
+    const Matrix& f, const Matrix& w, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* out);
+
+/// Adjoint of BlockPairWeightedCrossInto. Given upstream gradient `g`
+/// (pairs.size()*block x block), accumulates
+///   dw(i)          += sum_p sum_{r,c} g_p(r,c) f(i, ar) f(i, bc)
+///   df[:, ai-block] += w .* (f[:, bi-block] * g_p^T)
+///   df[:, bi-block] += w .* (f[:, ai-block] * g_p)
+/// `df` / `dw` may be null to skip that side. Parallel over sample
+/// rows (disjoint rows per worker, no races across pairs).
+void BlockPairWeightedCrossGradInto(
+    const Matrix& g, const Matrix& f, const Matrix& w, int64_t block,
+    const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* df,
+    Matrix* dw);
 
 /// The seed repo's single-threaded triple-loop matmul, kept as the
 /// ground-truth reference for the tiled kernels' randomized tests and
