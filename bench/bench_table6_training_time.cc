@@ -11,12 +11,15 @@
 // finite, which the ctest smoke perf guard relies on.
 //
 // For every weight-learning method, a second "<name>/weight_step"
-// entry records the seconds spent inside the sample-weight phase, so
-// the JSON captures the weight-loss share of training (the phase the
-// batched HSIC kernel targets). SBRL_HSIC_MODE=exact reruns the suite
-// on the per-pair reference path at otherwise identical scale/flags —
-// the before/after comparison documented in README "Weight-loss
-// batching".
+// entry records the seconds spent inside the sample-weight phase, and
+// a third "<name>/rff_cos" entry the seconds inside the RFF cosine
+// sweeps, so the JSON captures the weight-loss and cosine shares of
+// training (the phases the batched HSIC kernel and the vectorized
+// cosine engine target). SBRL_HSIC_MODE=exact reruns the suite on the
+// per-pair reference path, and SBRL_COS_MODE=exact on the scalar
+// std::cos path, at otherwise identical scale/flags — the
+// before/after comparisons documented in README "Weight-loss
+// batching" / "Vectorized RFF cosine".
 
 #include <benchmark/benchmark.h>
 
@@ -44,6 +47,18 @@ BatchedHsicMode HsicModeFromEnv() {
   return BatchedHsicMode::kExact;
 }
 
+CosineMode CosModeFromEnv() {
+  const char* env = std::getenv("SBRL_COS_MODE");
+  if (env == nullptr || *env == '\0' ||
+      std::strcmp(env, "vectorized") == 0) {
+    return CosineMode::kVectorized;
+  }
+  SBRL_CHECK(std::strcmp(env, "exact") == 0)
+      << "SBRL_COS_MODE must be 'exact' or 'vectorized', got '" << env
+      << "'";
+  return CosineMode::kExact;
+}
+
 void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
   Scale scale = GetScale();
   // Table VI measures one execution; keep the iteration budget modest
@@ -55,6 +70,7 @@ void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
     EstimatorConfig config = WithMethod(BaseConfig(scale, 112), spec);
     config.train.eval_every = 0;  // measure the raw optimization loop
     config.sbrl.hsic_mode = HsicModeFromEnv();
+    config.sbrl.rff_cos_mode = CosModeFromEnv();
     auto estimator = HteEstimator::Create(config);
     SBRL_CHECK(estimator.ok());
     Timer fit_timer;
@@ -64,6 +80,8 @@ void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
       if (config.framework != FrameworkKind::kVanilla) {
         g_json->Record(spec.name() + "/weight_step",
                        estimator->diagnostics().weight_step_seconds);
+        g_json->Record(spec.name() + "/rff_cos",
+                       estimator->diagnostics().rff_cos_seconds);
       }
     }
     benchmark::DoNotOptimize(estimator->PredictAte(splits.test.x));

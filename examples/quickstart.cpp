@@ -2,8 +2,8 @@
 // observational dataset and estimate heterogeneous treatment effects on
 // an out-of-distribution population.
 //
-// Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+// Build & run (from the repository root):
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/example_quickstart
 
 #include <iostream>

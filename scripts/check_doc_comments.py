@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Doc-comment lint for the public headers of src/stats and src/core.
+
+Enforces the repo's documentation contract (see docs/ARCHITECTURE.md):
+every public declaration in the linted headers — free functions,
+classes/structs/enums at namespace scope, and public member functions —
+must be immediately preceded by a `///` Doxygen contract comment, in the
+style established by src/stats/rff.h.  Runs as the `docs_lint` ctest;
+`docs_doxygen` (when doxygen is installed) applies the same rule through
+doxygen's WARN_IF_UNDOCUMENTED + WARN_AS_ERROR.
+
+The parser is a pragmatic line scanner tuned to this codebase's
+formatting (Google style, 2-space indents, one declaration per
+statement).  It intentionally errs on the side of flagging: a false
+positive is fixed by documenting the declaration, which is the point.
+
+Exit status: 0 when clean, 1 with a warning line per undocumented
+declaration otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Lines that can never *start* a declaration needing docs.
+_SKIP_PREFIXES = (
+    "#", "//", "/*", "*", "}", ")", "public:", "private:", "protected:",
+    "namespace", "using ", "typedef ", "friend ", "static_assert",
+    "SBRL_", "EXPECT_", "ASSERT_",
+)
+
+# A bare `template <...>` introducer line: the declaration proper is on
+# the following line(s). Transparent for doc purposes — a /// comment
+# above the introducer documents the declaration below it — and never a
+# declaration start itself (single-line templated declarations instead
+# match _DECL_RE's optional template prefix).
+_TEMPLATE_INTRO_RE = re.compile(r"template\s*<[^;{]*>?\s*$")
+
+# A function/type declaration opener at the current scope.
+_DECL_RE = re.compile(
+    r"^(?:template\s*<.*>\s*)?"
+    r"(?:(?:inline|constexpr|explicit|virtual|static|friend|extern)\s+)*"
+    r"(?:(?P<kind>class|struct|enum(?:\s+class)?)\s+(?P<type_name>\w+)"
+    r"|(?P<rettype>[\w:<>,&*\s]+?)\s+(?P<func_name>~?\w+|operator\S+)\s*\("
+    r"|(?P<ctor_name>\w+)\s*\()"
+)
+
+
+def _is_doc_comment(line: str) -> bool:
+    return line.lstrip().startswith("///")
+
+
+def _decl_name(match: re.Match) -> str:
+    for group in ("type_name", "func_name", "ctor_name"):
+        name = match.group(group)
+        if name:
+            return name
+    return "?"
+
+
+def lint_header(path: Path) -> list:
+    """Returns a list of (line_number, message) warnings for one header."""
+    lines = path.read_text().splitlines()
+    warnings = []
+
+    # Scope tracking: a stack entry per open brace that matters.
+    # Entries: ("ns", None) for namespaces, ("record", access) for
+    # class/struct bodies, ("other", None) for everything else
+    # (function bodies, enums, initializers).
+    scope = []
+    prev_meaningful = ""  # last non-blank line before the current one
+    continuation = False  # inside a multi-line declaration
+    pending_record = None  # access of a record whose '{' is still ahead
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+
+        if not stripped:
+            prev_meaningful = ""
+            continue
+
+        if stripped.startswith(("public:", "private:", "protected:")):
+            if scope and scope[-1][0] == "record":
+                scope[-1] = ("record", stripped.split(":")[0])
+            prev_meaningful = stripped
+            continue
+
+        # Bare template introducer: leave prev_meaningful (usually the
+        # /// comment) in place for the declaration on the next line.
+        if _TEMPLATE_INTRO_RE.match(stripped):
+            continue
+
+        lintable_scope = (
+            all(s[0] == "ns" for s in scope) and scope  # namespace scope
+            or (scope and scope[-1][0] == "record"
+                and scope[-1][1] == "public"
+                and all(s[0] in ("ns", "record") for s in scope))
+        )
+
+        is_decl_start = False
+        decl_label = ""
+        if (lintable_scope and not continuation
+                and not any(stripped.startswith(p) for p in _SKIP_PREFIXES)
+                and not _is_doc_comment(stripped)):
+            m = _DECL_RE.match(stripped)
+            # Field declarations (no parenthesis, no record keyword) and
+            # deleted/defaulted members are exempt: the contract covers
+            # functions and types.
+            if m and "= delete" not in stripped and "= default" not in stripped:
+                is_decl_start = True
+                decl_label = _decl_name(m)
+
+        if is_decl_start and not _is_doc_comment(prev_meaningful):
+            warnings.append(
+                (lineno,
+                 f"{path}:{lineno}: public declaration '{decl_label}' "
+                 f"lacks a /// contract comment"))
+
+        # --- update parser state ------------------------------------------
+        # Multi-line declaration: keep skipping until it terminates.
+        if not stripped.startswith(("//", "#")):
+            terminated = stripped.endswith((";", "{", "}", ":"))
+            if is_decl_start or continuation:
+                continuation = not terminated
+        # Scope pushes/pops, honoring braces only outside comments.
+        code = re.sub(r'//.*', '', stripped)
+        if re.match(r"^namespace\b", code) and code.endswith("{"):
+            scope.append(("ns", None))
+        else:
+            m = re.match(r"^(?:template\s*<.*>\s*)?(class|struct)\s+\w+", code)
+            if m and not code.endswith(";"):
+                # struct => public by default, class => private.
+                pending_record = "public" if m.group(1) == "struct" else "private"
+            for ch in code:
+                if ch == "{":
+                    if pending_record is not None:
+                        scope.append(("record", pending_record))
+                        pending_record = None
+                    else:
+                        scope.append(("other", None))
+                elif ch == "}":
+                    if scope:
+                        scope.pop()
+        prev_meaningful = stripped
+
+    return warnings
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print("usage: check_doc_comments.py <header-dir> [...]")
+        return 2
+    all_warnings = []
+    checked = 0
+    for root in argv[1:]:
+        for header in sorted(Path(root).glob("*.h")):
+            checked += 1
+            all_warnings.extend(lint_header(header))
+    for _, message in all_warnings:
+        print(message)
+    if all_warnings:
+        print(f"docs lint: {len(all_warnings)} undocumented public "
+              f"declaration(s) across {checked} header(s)")
+        return 1
+    print(f"docs lint: {checked} header(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

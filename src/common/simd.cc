@@ -1,0 +1,118 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace sbrl {
+
+namespace simd_detail {
+// Defined in simd_vec.cc, the only fast-math translation unit.
+void VecCosSerial(const double* x, double* y, int64_t n);
+void ScaledCosSerialInPlace(double* x, int64_t n, double scale);
+}  // namespace simd_detail
+
+namespace {
+
+/// Exact reference: plain scalar std::cos in a normally compiled TU, so
+/// the compiler cannot substitute the vector variant.
+void ScaledCosExactSerialInPlace(double* x, int64_t n, double scale) {
+  for (int64_t i = 0; i < n; ++i) x[i] = scale * std::cos(x[i]);
+}
+
+/// Process-wide cosine-sweep wall-clock total, in nanoseconds.
+std::atomic<int64_t> g_cos_sweep_nanos{0};
+
+/// Runs serial_fn(lo, hi) over [0, n) with every chunk boundary on a
+/// multiple of kCosSweepBlock. ParallelFor's chunk size depends on the
+/// worker count, but because every chunk START here is block-aligned
+/// (and SIMD kernels restart at each chunk start), an element's lane
+/// position — and therefore its bit pattern — never depends on how the
+/// range was split. Grain is one block = the shared ~64K-flop cutoff
+/// at kCosFlopWeight per element, so sub-block sweeps stay inline.
+template <typename SerialFn>
+void BlockAlignedSweep(int64_t n, const SerialFn& serial_fn) {
+  Timer timer;
+  const int64_t nblocks = (n + kCosSweepBlock - 1) / kCosSweepBlock;
+  ParallelFor(0, nblocks, /*min_grain=*/1, [&](int64_t lo, int64_t hi) {
+    serial_fn(lo * kCosSweepBlock, std::min(hi * kCosSweepBlock, n));
+  });
+  g_cos_sweep_nanos.fetch_add(
+      static_cast<int64_t>(timer.ElapsedSeconds() * 1e9),
+      std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* CosineModeName(CosineMode mode) {
+  switch (mode) {
+    case CosineMode::kVectorized: return "vectorized";
+    case CosineMode::kExact: return "exact";
+  }
+  return "?";
+}
+
+void VecCos(const double* x, double* y, int64_t n) {
+  SBRL_CHECK_GE(n, 0);
+  BlockAlignedSweep(n, [x, y](int64_t lo, int64_t hi) {
+    simd_detail::VecCosSerial(x + lo, y + lo, hi - lo);
+  });
+}
+
+void ScaledCosInPlace(double* x, int64_t n, double scale, CosineMode mode) {
+  SBRL_CHECK_GE(n, 0);
+  if (mode == CosineMode::kVectorized) {
+    BlockAlignedSweep(n, [x, scale](int64_t lo, int64_t hi) {
+      simd_detail::ScaledCosSerialInPlace(x + lo, hi - lo, scale);
+    });
+  } else {
+    BlockAlignedSweep(n, [x, scale](int64_t lo, int64_t hi) {
+      ScaledCosExactSerialInPlace(x + lo, hi - lo, scale);
+    });
+  }
+}
+
+void ScaledCosRowsInPlace(double* x, int64_t rows, int64_t cols,
+                          int64_t stride, double scale, CosineMode mode) {
+  SBRL_CHECK_GE(rows, 0);
+  SBRL_CHECK_GE(cols, 0);
+  SBRL_CHECK_GE(stride, cols);
+  if (stride == cols) {  // the block is contiguous: one flat sweep
+    ScaledCosInPlace(x, rows * cols, scale, mode);
+    return;
+  }
+  // Strided block: each row is its own contiguous run. SIMD kernels
+  // restart at every row, so results are identical to sweeping each
+  // row alone regardless of how rows are chunked across workers.
+  Timer timer;
+  const int64_t row_work = cols * kCosFlopWeight;
+  const int64_t grain =
+      std::max<int64_t>(1, kParallelSerialCutoff /
+                               std::max<int64_t>(1, row_work));
+  const bool vectorized = mode == CosineMode::kVectorized;
+  ParallelFor(0, rows, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      double* row = x + r * stride;
+      if (vectorized) {
+        simd_detail::ScaledCosSerialInPlace(row, cols, scale);
+      } else {
+        ScaledCosExactSerialInPlace(row, cols, scale);
+      }
+    }
+  });
+  g_cos_sweep_nanos.fetch_add(
+      static_cast<int64_t>(timer.ElapsedSeconds() * 1e9),
+      std::memory_order_relaxed);
+}
+
+double CosSweepSecondsTotal() {
+  return static_cast<double>(
+             g_cos_sweep_nanos.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+}  // namespace sbrl

@@ -55,6 +55,7 @@ class Backbone {
   /// head weight matrices, excluding biases).
   virtual std::vector<Param*> DecayParams() = 0;
 
+  /// Covariate dimension the backbone was built for.
   virtual int64_t input_dim() const = 0;
 };
 
@@ -64,14 +65,19 @@ class Backbone {
 class OutcomeHeads {
  public:
   OutcomeHeads() = default;
+
+  /// Builds both heads (`name`.h0 / `name`.h1) over an `in_dim`-wide
+  /// representation, sized by `config`, initialized from `rng`.
   OutcomeHeads(const std::string& name, int64_t in_dim,
                const NetworkConfig& config, Rng& rng);
 
+  /// Outputs of one two-head pass, plus the factual activations the
+  /// HAP tiers decorrelate.
   struct Result {
-    Var y0;
-    Var y1;
-    Var z_p;                    // factual last hidden (n x h_y)
-    std::vector<Var> hidden;    // factual hiddens at all other depths
+    Var y0;                   ///< control-head prediction (n x 1)
+    Var y1;                   ///< treated-head prediction (n x 1)
+    Var z_p;                  ///< factual last hidden (n x h_y)
+    std::vector<Var> hidden;  ///< factual hiddens at all other depths
   };
 
   /// Forward through both heads; `t` selects each unit's factual head
@@ -79,7 +85,9 @@ class OutcomeHeads {
   Result Forward(ParamBinder& binder, Var rep, const std::vector<int>& t,
                  bool training) const;
 
+  /// Appends all trainable parameters of both heads to `*out`.
   void CollectParams(std::vector<Param*>* out);
+  /// Head weight matrices subject to the paper's R_l2 regularizer.
   std::vector<Param*> DecayParams();
 
  private:

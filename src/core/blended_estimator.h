@@ -43,7 +43,9 @@ class BlendedHteEstimator {
   /// Blended ATE over the rows of `x`.
   double PredictAte(const Matrix& x) const;
 
+  /// The in-distribution (vanilla-framework) member of the blend.
   const HteEstimator& vanilla() const { return vanilla_; }
+  /// The OOD-robust (SBRL/SBRL-HAP) member of the blend.
   const HteEstimator& stable() const { return stable_; }
 
  private:

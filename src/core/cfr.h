@@ -13,6 +13,8 @@ namespace sbrl {
 /// through the `w` node of Forward.
 class CfrBackbone : public TarnetBackbone {
  public:
+  /// TARNet with the configured IPM weight (config.cfr.alpha_ipm)
+  /// enabled — everything else is inherited.
   CfrBackbone(const EstimatorConfig& config, int64_t input_dim, Rng& rng)
       : TarnetBackbone(config, input_dim, rng, config.cfr.alpha_ipm) {}
 };

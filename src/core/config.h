@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "nn/mlp.h"
 
@@ -41,8 +42,11 @@ enum class BatchedHsicMode {
   kBatched,  ///< block-diagonal batched kernels (default)
 };
 
+/// Human-readable backbone name ("TARNet" / "CFR" / "DeR-CFR").
 const char* BackboneName(BackboneKind kind);
+/// Human-readable framework suffix ("vanilla" / "+SBRL" / "+SBRL-HAP").
 const char* FrameworkName(FrameworkKind kind);
+/// Human-readable BatchedHsicMode name ("exact" / "batched").
 const char* BatchedHsicModeName(BatchedHsicMode mode);
 
 /// Returns e.g. "CFR+SBRL-HAP" — the method names used in the paper's
@@ -52,13 +56,19 @@ std::string MethodName(BackboneKind backbone, FrameworkKind framework);
 /// Architecture of the representation network and outcome heads
 /// (paper Table IV notation: {d_r, d_y} depths, {h_r, h_y} widths).
 struct NetworkConfig {
+  /// Depth d_r of the representation network.
   int64_t rep_layers = 3;
+  /// Width h_r of each representation layer.
   int64_t rep_width = 64;
+  /// Depth d_y of each outcome head.
   int64_t head_layers = 3;
+  /// Width h_y of each outcome-head layer.
   int64_t head_width = 32;
+  /// Insert batch normalization after every hidden layer.
   bool batchnorm = false;
   /// Scale representation rows to unit L2 norm (CFR's rep normalization).
   bool rep_normalization = false;
+  /// Hidden-layer nonlinearity.
   Activation activation = Activation::kElu;
 };
 
@@ -66,7 +76,9 @@ struct NetworkConfig {
 struct CfrConfig {
   /// Weight of the IPM balancing term (paper's alpha).
   double alpha_ipm = 1.0;
+  /// IPM family of the balancing term.
   IpmKind ipm = IpmKind::kLinearMmd;
+  /// Kernel bandwidth when `ipm` is kRbfMmd.
   double rbf_bandwidth = 1.0;
 };
 
@@ -84,7 +96,9 @@ struct DerCfrConfig {
   double adjustment_balance = 1.0;
   /// Treatment-prediction loss weight for the t-head on [I, C].
   double treatment_loss = 0.5;
+  /// IPM family of the balance terms.
   IpmKind ipm = IpmKind::kLinearMmd;
+  /// Kernel bandwidth when `ipm` is kRbfMmd.
   double rbf_bandwidth = 1.0;
 };
 
@@ -109,6 +123,20 @@ struct SbrlConfig {
   int64_t hsic_pair_budget = 48;
   /// Batched vs per-pair evaluation of L_D (see BatchedHsicMode).
   BatchedHsicMode hsic_mode = BatchedHsicMode::kBatched;
+  /// Cosine path of the RFF feature sweeps inside L_D: the SIMD
+  /// vectorized kernel (default) or the scalar std::cos reference.
+  /// Mirrors hsic_mode: kExact evaluates every cosine with scalar
+  /// std::cos, bit for bit (see CosineMode in common/simd.h). Note
+  /// the projection DRAWS are slot-keyed per epoch either way, so
+  /// neither mode reproduces the pre-PR-3 sequential-rng training
+  /// trajectories — kExact pins down the evaluation, not history.
+  CosineMode rff_cos_mode = CosineMode::kVectorized;
+  /// Memoize per-slot RFF projection draws across the HAP tiers of one
+  /// weight step (they share the in_dim = 1, k = rff_features stream).
+  /// Value-transparent: training is bitwise identical with the cache
+  /// on or off — the flag only trades memory for repeated sampling
+  /// work (see RffProjectionCache in stats/rff.h).
+  bool rff_projection_cache = true;
   /// Learning rate of the sample-weight learner.
   double lr_w = 5e-2;
   /// Run the weight step every k-th network step.
@@ -120,9 +148,13 @@ struct SbrlConfig {
 /// Optimization loop settings (paper Sec. V-C: Adam, exponential decay,
 /// early stopping, max 3000 iterations; full-batch).
 struct TrainConfig {
+  /// Maximum full-batch iterations of Algorithm 1.
   int64_t iterations = 600;
+  /// Initial Adam learning rate of the network step.
   double lr = 1e-3;
+  /// Multiplicative decay factor of the exponential lr schedule.
   double lr_decay_rate = 0.97;
+  /// Iterations between decay applications.
   int64_t lr_decay_steps = 100;
   /// L2 penalty on outcome-head weights (paper's R_l2 / lambda).
   double l2 = 1e-4;
@@ -130,18 +162,27 @@ struct TrainConfig {
   int64_t eval_every = 25;
   /// Number of consecutive non-improving evaluations tolerated.
   int64_t patience = 10;
+  /// Master seed of initialization, draws, and shuffles.
   uint64_t seed = 1234;
+  /// Log per-evaluation progress lines.
   bool verbose = false;
 };
 
 /// Complete configuration of an HteEstimator.
 struct EstimatorConfig {
+  /// Potential-outcome backbone network.
   BackboneKind backbone = BackboneKind::kCfr;
+  /// Stable-learning framework wrapped around it.
   FrameworkKind framework = FrameworkKind::kSbrlHap;
+  /// Network architecture.
   NetworkConfig network;
+  /// CFR knobs (used when backbone == kCfr).
   CfrConfig cfr;
+  /// DeR-CFR knobs (used when backbone == kDerCfr).
   DerCfrConfig dercfr;
+  /// SBRL / SBRL-HAP framework knobs.
   SbrlConfig sbrl;
+  /// Optimization-loop settings.
   TrainConfig train;
 
   /// Structural validation; returns InvalidArgument with a reason when

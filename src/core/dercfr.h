@@ -30,8 +30,13 @@ namespace sbrl {
 /// pressure at a fraction of the cost.
 class DerCfrBackbone : public Backbone {
  public:
+  /// Builds the three decomposed representation networks and both
+  /// outcome heads, sized by `config`, initialized from `rng`.
   DerCfrBackbone(const EstimatorConfig& config, int64_t input_dim, Rng& rng);
 
+  /// Backbone::Forward with the DeR-CFR decomposition losses attached
+  /// to aux_loss (confounder balance, instrument independence,
+  /// orthogonality, adjustment balance, treatment head).
   BackboneForward Forward(ParamBinder& binder, const Matrix& x,
                           const std::vector<int>& t, Var w,
                           bool training) override;
@@ -42,8 +47,11 @@ class DerCfrBackbone : public Backbone {
   /// penalty is ignored when `training` is false).
   void SetOutcomes(const Matrix& y);
 
+  /// All trainable parameters of the three networks and both heads.
   void CollectParams(std::vector<Param*>* out) override;
+  /// Outcome-head weight matrices subject to R_l2.
   std::vector<Param*> DecayParams() override;
+  /// Covariate dimension the backbone was built for.
   int64_t input_dim() const override { return input_dim_; }
 
  private:

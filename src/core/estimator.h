@@ -54,8 +54,11 @@ class HteEstimator {
   /// Learned sample weights (uniform for vanilla frameworks).
   const Matrix& sample_weights() const { return weights_; }
 
+  /// Training record of the last Fit() (loss curves, timing shares).
   const TrainDiagnostics& diagnostics() const { return diag_; }
+  /// The validated configuration this estimator was created with.
   const EstimatorConfig& config() const { return config_; }
+  /// True once Fit() has succeeded; prediction requires it.
   bool fitted() const { return fitted_; }
 
  private:

@@ -8,10 +8,27 @@ namespace sbrl {
 Var BuildWeightLoss(Var w, const WeightLossInputs& inputs,
                     const SbrlConfig& config, FrameworkKind framework,
                     double alpha_br, IpmKind ipm, double rbf_bandwidth,
-                    Rng& rng) {
+                    Rng& rng, RffProjectionCache* proj_cache) {
   SBRL_CHECK(framework != FrameworkKind::kVanilla)
       << "vanilla models learn no sample weights";
   Tape* tape = w.tape();
+
+  // One projection-draw epoch per weight step, shared by every
+  // decorrelation tier below: tiers decorrelate with the same
+  // (in_dim = 1, k) stream, so common column indices reuse the same
+  // slot draws — and the cache, when present, samples each slot once
+  // instead of once per tier. The epoch seed is drawn unconditionally
+  // so the rng stream position never depends on the tier set or on
+  // whether a cache is plugged in.
+  const uint64_t epoch_seed = rng.engine()();
+  if (proj_cache != nullptr) proj_cache->BeginEpoch(epoch_seed);
+  const RffDrawEpoch epoch{epoch_seed, proj_cache};
+  const auto decorrelation = [&](const Matrix& z) {
+    return HsicRffDecorrelationLoss(z, w, config.rff_features,
+                                    config.hsic_pair_budget, rng,
+                                    config.hsic_mode, config.rff_cos_mode,
+                                    &epoch);
+  };
 
   // R_w anchor: keeps weights near 1 so no unit dominates or vanishes.
   Var loss = ops::MeanAll(ops::Square(ops::AddConst(w, -1.0)));
@@ -26,33 +43,20 @@ Var BuildWeightLoss(Var w, const WeightLossInputs& inputs,
 
   // Independence Regularizer: first priority, the last hidden layer.
   if (config.gamma1 > 0.0) {
-    loss = ops::Add(
-        loss, ops::Scale(HsicRffDecorrelationLoss(inputs.z_p, w,
-                                                  config.rff_features,
-                                                  config.hsic_pair_budget,
-                                                  rng, config.hsic_mode),
-                         config.gamma1));
+    loss = ops::Add(loss, ops::Scale(decorrelation(inputs.z_p),
+                                     config.gamma1));
   }
 
   if (framework == FrameworkKind::kSbrlHap) {
     // Second priority: the balanced representation layer.
     if (config.gamma2 > 0.0) {
-      loss = ops::Add(
-          loss, ops::Scale(HsicRffDecorrelationLoss(inputs.z_r, w,
-                                                    config.rff_features,
-                                                    config.hsic_pair_budget,
-                                                    rng, config.hsic_mode),
-                           config.gamma2));
+      loss = ops::Add(loss, ops::Scale(decorrelation(inputs.z_r),
+                                       config.gamma2));
     }
     // Third priority: every remaining hidden layer.
     if (config.gamma3 > 0.0) {
       for (const Matrix& z : inputs.z_o) {
-        loss = ops::Add(
-            loss, ops::Scale(HsicRffDecorrelationLoss(z, w,
-                                                      config.rff_features,
-                                                      config.hsic_pair_budget,
-                                                      rng, config.hsic_mode),
-                             config.gamma3));
+        loss = ops::Add(loss, ops::Scale(decorrelation(z), config.gamma3));
       }
     }
   }

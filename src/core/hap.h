@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "stats/rff.h"
 #include "tensor/random.h"
 
 namespace sbrl {
@@ -11,10 +12,10 @@ namespace sbrl {
 /// Detached network activations captured from the latest network-step
 /// forward pass, grouped by HAP priority.
 struct WeightLossInputs {
-  Matrix z_p;               // first priority: last hidden layer
-  Matrix z_r;               // second priority: balanced representation
-  std::vector<Matrix> z_o;  // third priority: all other hidden layers
-  std::vector<int> t;       // treatment assignment (for L_B)
+  Matrix z_p;               ///< first priority: last hidden layer
+  Matrix z_r;               ///< second priority: balanced representation
+  std::vector<Matrix> z_o;  ///< third priority: all other hidden layers
+  std::vector<int> t;       ///< treatment assignment (for L_B)
 };
 
 /// Records the sample-weight objective L_w (paper Eq. 11) on the tape
@@ -29,10 +30,17 @@ struct WeightLossInputs {
 ///
 /// `alpha_br` is the *effective* balancing weight (already zeroed for
 /// TARNet backbones); `ipm` / `rbf_bandwidth` choose the L_B metric.
+///
+/// One RFF draw epoch is derived from `rng` per call (i.e. per weight
+/// step) and shared by every decorrelation tier, so tiers reuse the
+/// per-column projection draws they have in common. `proj_cache`, when
+/// non-null, memoizes those draws across the tiers (the trainer passes
+/// its cache when SbrlConfig::rff_projection_cache is set); results
+/// are bitwise identical with or without it.
 Var BuildWeightLoss(Var w, const WeightLossInputs& inputs,
                     const SbrlConfig& config, FrameworkKind framework,
                     double alpha_br, IpmKind ipm, double rbf_bandwidth,
-                    Rng& rng);
+                    Rng& rng, RffProjectionCache* proj_cache = nullptr);
 
 }  // namespace sbrl
 

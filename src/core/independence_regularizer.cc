@@ -41,7 +41,8 @@ Var PairLoss(Tape* tape, const Matrix& u, const Matrix& v, Var w_norm) {
 
 Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
                              int64_t pair_budget, Rng& rng,
-                             BatchedHsicMode mode) {
+                             BatchedHsicMode mode, CosineMode cos_mode,
+                             const RffDrawEpoch* epoch) {
   Tape* tape = w.tape();
   SBRL_CHECK(w.valid());
   SBRL_CHECK_EQ(w.cols(), 1);
@@ -54,19 +55,49 @@ Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
   // Normalized weights are shared by every pair term.
   Var w_norm = ops::DivScalar(w, ops::SumAll(w));
 
-  // Pair subset first, then one fresh RFF draw per feature the subset
-  // actually uses (ascending column order, strided column reads
-  // straight into the stack) — a small budget on a wide layer skips
-  // most of the cosine work. Both modes consume `rng` in exactly this
-  // order, so they see identical pairs and features.
+  // Pair subset first — a small budget on a wide layer skips most of
+  // the cosine work. Both modes consume `rng` in exactly this order
+  // (pairs, then the epoch-seed draw of the standalone path), so they
+  // see identical pairs and features.
   FeaturePairSelection sel = SelectFeaturePairs(d, pair_budget, rng);
   CompactPairBlocks blocks = CompactUsedColumns(d, sel.pairs);
   const std::vector<std::pair<int64_t, int64_t>>& block_pairs =
       blocks.block_pairs;
-  // F = [u_c0 | u_c1 | ...] over the used columns (n x n_used*k).
+
+  // Projections are per-column slot draws of the epoch: slot index =
+  // original column index, so every evaluation sharing the epoch (the
+  // HAP tiers of one weight step) reuses the draws of the columns it
+  // has in common with the others. The cache only memoizes — cached
+  // and uncached slots are bitwise identical (see RffSlotSeed).
+  const uint64_t epoch_seed =
+      epoch != nullptr ? epoch->seed : rng.engine()();
+  RffProjectionCache* cache = epoch != nullptr ? epoch->cache : nullptr;
+  std::vector<RffProjection> drawn;       // uncached-path storage
+  std::vector<const RffProjection*> projs;  // cached-path views
+  if (cache != nullptr) {
+    cache->BeginEpoch(epoch_seed);  // no-op when already current
+    projs.reserve(blocks.used_cols.size());
+    for (int64_t col : blocks.used_cols) {
+      projs.push_back(&cache->Slot(1, k, col));
+    }
+  } else {
+    drawn.reserve(blocks.used_cols.size());
+    for (int64_t col : blocks.used_cols) {
+      drawn.push_back(SampleRffSlot(epoch_seed, 1, k, col));
+    }
+  }
+  // F = [u_c0 | u_c1 | ...] over the used columns (n x n_used*k):
+  // angles land in one flat buffer, then a single vectorized (or
+  // exact, per cos_mode) cosine sweep finishes every feature at once.
   Matrix stacked(z.rows(),
                  static_cast<int64_t>(blocks.used_cols.size()) * k);
-  StackRffColumns(z, blocks.used_cols, k, rng, &stacked);
+  if (cache != nullptr) {
+    StackRffColumnsWithProjections(z, blocks.used_cols, projs, k, &stacked,
+                                   cos_mode);
+  } else {
+    StackRffColumnsWithProjections(z, blocks.used_cols, drawn, k, &stacked,
+                                   cos_mode);
+  }
 
   if (mode == BatchedHsicMode::kExact) {
     Var loss = tape->Constant(Matrix::Zeros(1, 1));

@@ -5,9 +5,25 @@
 
 #include "autodiff/ops.h"
 #include "core/config.h"
+#include "stats/rff.h"
 #include "tensor/random.h"
 
 namespace sbrl {
+
+/// Source of the RFF projection draws of one decorrelation-loss call.
+/// The projections of a draw epoch are counter-based slot draws keyed
+/// by (seed, in_dim, k, column index) — see RffSlotSeed — so every
+/// evaluation sharing an epoch sees the same per-column projections
+/// regardless of call order, threading, or whether a cache memoizes
+/// the sampling work. BuildWeightLoss derives one epoch per weight
+/// step so all HAP tiers share their draws.
+struct RffDrawEpoch {
+  /// Seed the epoch's slot streams derive from.
+  uint64_t seed = 0;
+  /// Optional memoizer for the epoch's draws; nullptr re-samples each
+  /// slot on use (bitwise-identical results either way).
+  RffProjectionCache* cache = nullptr;
+};
 
 /// Differentiable decorrelation loss L_D(Z, w) of the Independence
 /// Regularizer (paper Eqs. 9-10): the sum over feature pairs (a, b) of
@@ -30,12 +46,25 @@ namespace sbrl {
 /// every selected pair through one block cross-covariance node —
 /// O(pairs) small tape ops collapse into three kernel dispatches.
 /// kExact keeps the per-pair op loop as the reference. Both modes
-/// consume `rng` identically (same RFF draws, same pair subset) and
-/// agree to a relative tolerance of 1e-9 — only FP summation order
-/// differs (see README "Weight-loss batching").
+/// consume `rng` identically (same pair subset, same epoch seed, hence
+/// the same RFF draws) and agree to a relative tolerance of 1e-9 —
+/// only FP summation order differs (see README "Weight-loss
+/// batching").
+///
+/// `cos_mode` selects the cosine sweep of the feature evaluation
+/// (SIMD vectorized vs scalar std::cos reference; see CosineMode).
+///
+/// `epoch` supplies the projection draw epoch. When null, the epoch
+/// seed is drawn from `rng` (one engine draw after pair selection) and
+/// slots are sampled uncached — the standalone-call path. When set,
+/// the caller-provided seed/cache are used and `rng` is only consumed
+/// for the pair subset — the path BuildWeightLoss uses to share one
+/// epoch (and one cache) across all HAP tiers of a weight step.
 Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
                              int64_t pair_budget, Rng& rng,
-                             BatchedHsicMode mode = BatchedHsicMode::kBatched);
+                             BatchedHsicMode mode = BatchedHsicMode::kBatched,
+                             CosineMode cos_mode = CosineMode::kVectorized,
+                             const RffDrawEpoch* epoch = nullptr);
 
 }  // namespace sbrl
 

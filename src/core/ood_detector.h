@@ -27,6 +27,7 @@ namespace sbrl {
 /// near 1 mean a shift many times larger than sampling noise.
 class OodLevelDetector {
  public:
+  /// Calibration and metric knobs of the detector.
   struct Options {
     /// Bootstrap pairs used to calibrate the null distance
     /// distribution.

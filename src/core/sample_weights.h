@@ -14,11 +14,13 @@ namespace sbrl {
 /// complementing the paper's R_w anchor).
 class SampleWeights {
  public:
+  /// n unit weights with the projection floor `floor` (>= 0).
   SampleWeights(int64_t n, double floor);
 
   /// The raw weight parameter (n x 1) for optimizer registration and
   /// tape binding.
   Param& param() { return param_; }
+  /// Read-only view of the raw weight parameter.
   const Param& param() const { return param_; }
 
   /// Clamps weights to [floor, inf). Call after every optimizer step.
@@ -28,7 +30,9 @@ class SampleWeights {
   /// prediction loss so the loss scale stays comparable to uniform.
   Matrix NormalizedToMeanOne() const;
 
+  /// The raw (clamped, unnormalized) weights (n x 1).
   const Matrix& raw() const { return param_.value; }
+  /// Number of weighted units.
   int64_t n() const { return param_.value.rows(); }
 
  private:

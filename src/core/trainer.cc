@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "core/hap.h"
 #include "nn/lr_schedule.h"
@@ -61,6 +62,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
                           Matrix* out_weights) {
   SBRL_CHECK(diag != nullptr && out_weights != nullptr);
   Timer timer;
+  const double cos_seconds_at_start = CosSweepSecondsTotal();
   const int64_t n = train.n();
   const bool learn_weights =
       config_.framework != FrameworkKind::kVanilla;
@@ -126,7 +128,10 @@ Status SbrlTrainer::Train(const CausalDataset& train,
       Var w_var = w_binder.Bind(weights.param());
       Var w_loss = BuildWeightLoss(w_var, inputs, config_.sbrl,
                                    config_.framework, effective_alpha_br_,
-                                   br_ipm_, br_rbf_bandwidth_, hsic_rng);
+                                   br_ipm_, br_rbf_bandwidth_, hsic_rng,
+                                   config_.sbrl.rff_projection_cache
+                                       ? &rff_proj_cache_
+                                       : nullptr);
       weight_loss_value = w_loss.value().scalar();
       w_tape.Backward(w_loss);
       w_binder.FlushGrads();
@@ -179,6 +184,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
   }
   *out_weights = weights.raw();
   diag->train_seconds = timer.ElapsedSeconds();
+  diag->rff_cos_seconds = CosSweepSecondsTotal() - cos_seconds_at_start;
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include "core/backbone.h"
 #include "core/sample_weights.h"
 #include "data/causal_dataset.h"
+#include "stats/rff.h"
 #include "tensor/pool.h"
 
 namespace sbrl {
@@ -30,6 +31,13 @@ struct TrainDiagnostics {
   /// weight_step_seconds / train_seconds; BENCH_table6.json records
   /// both so the batched-HSIC win is tracked across PRs.
   double weight_step_seconds = 0.0;
+  /// Wall-clock seconds of `train_seconds` spent inside the RFF cosine
+  /// sweeps (the sqrt(2) cos epilogue of every decorrelation-loss
+  /// feature evaluation) — the delta of CosSweepSecondsTotal() across
+  /// Train(). The dominant slice of `weight_step_seconds` that the
+  /// vectorized CosineMode targets; BENCH_table6.json records it as
+  /// `<method>/rff_cos` so the cosine share is tracked across PRs.
+  double rff_cos_seconds = 0.0;
 };
 
 /// Runs the paper's Algorithm 1: alternating full-batch optimization of
@@ -62,6 +70,11 @@ class SbrlTrainer {
   /// across iterations, so steady-state training reuses buffers instead
   /// of reallocating them.
   MatrixPool tape_pool_;
+  /// Per-weight-step memoizer of the RFF projection draws shared by the
+  /// HAP tiers; handed to BuildWeightLoss when
+  /// SbrlConfig::rff_projection_cache is set (value-transparent either
+  /// way).
+  RffProjectionCache rff_proj_cache_;
 };
 
 }  // namespace sbrl

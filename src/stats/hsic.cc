@@ -50,20 +50,20 @@ double Hsic(const Matrix& a, const Matrix& b) {
 }
 
 double HsicRff(const Matrix& a, const Matrix& b, int64_t num_features,
-               Rng& rng) {
+               Rng& rng, CosineMode mode) {
   Matrix uniform = Matrix::Ones(a.rows(), 1);
-  return WeightedHsicRff(a, b, uniform, num_features, rng);
+  return WeightedHsicRff(a, b, uniform, num_features, rng, mode);
 }
 
 double WeightedHsicRff(const Matrix& a, const Matrix& b, const Matrix& w,
-                       int64_t num_features, Rng& rng) {
+                       int64_t num_features, Rng& rng, CosineMode mode) {
   SBRL_CHECK_EQ(a.cols(), 1);
   SBRL_CHECK_EQ(b.cols(), 1);
   SBRL_CHECK_EQ(a.rows(), b.rows());
   RffProjection proj_a = SampleRff(rng, 1, num_features);
   RffProjection proj_b = SampleRff(rng, 1, num_features);
-  Matrix u = ApplyRff(proj_a, a);  // (n x k)
-  Matrix v = ApplyRff(proj_b, b);  // (n x k)
+  Matrix u = ApplyRff(proj_a, a, mode);  // (n x k)
+  Matrix v = ApplyRff(proj_b, b, mode);  // (n x k)
   Matrix cov = WeightedCrossCovariance(u, v, w);
   double frob2 = 0.0;
   for (int64_t i = 0; i < cov.size(); ++i) frob2 += cov[i] * cov[i];
@@ -72,7 +72,7 @@ double WeightedHsicRff(const Matrix& a, const Matrix& b, const Matrix& w,
 
 double PairwiseWeightedHsicRff(const Matrix& x, const Matrix& w,
                                int64_t num_features, Rng& rng,
-                               int64_t max_pairs) {
+                               int64_t max_pairs, CosineMode mode) {
   const int64_t d = x.cols();
   const int64_t k = num_features;
   SBRL_CHECK_GT(d, 1);
@@ -80,18 +80,26 @@ double PairwiseWeightedHsicRff(const Matrix& x, const Matrix& w,
   FeaturePairSelection sel = SelectFeaturePairs(d, max_pairs, rng);
 
   // The statistic mirrors the batched block-diagonal formulation of
-  // HsicRffDecorrelationLoss: features the (possibly subsampled) pair
-  // set actually uses are stacked — one fresh projection per feature,
-  // drawn lazily in ascending column order, read through strided
-  // column views — and every pair's cross-covariance block comes out
-  // of ONE fused BlockPairWeightedCrossInto dispatch instead of a
-  // per-pair matmul loop.
+  // HsicRffDecorrelationLoss, rng discipline included: the pair subset
+  // comes out of `rng`, then one epoch seed, and each used column's
+  // projection is the slot draw keyed by (epoch, k, column index) —
+  // features the pair set actually uses are stacked and every pair's
+  // cross-covariance block comes out of ONE fused
+  // BlockPairWeightedCrossInto dispatch instead of a per-pair matmul
+  // loop.
   CompactPairBlocks blocks = CompactUsedColumns(d, sel.pairs);
   const std::vector<std::pair<int64_t, int64_t>>& block_pairs =
       blocks.block_pairs;
+  const uint64_t epoch_seed = rng.engine()();
+  std::vector<RffProjection> projs;
+  projs.reserve(blocks.used_cols.size());
+  for (int64_t col : blocks.used_cols) {
+    projs.push_back(SampleRffSlot(epoch_seed, 1, k, col));
+  }
   Matrix stacked(x.rows(),
                  static_cast<int64_t>(blocks.used_cols.size()) * k);
-  StackRffColumns(x, blocks.used_cols, k, rng, &stacked);
+  StackRffColumnsWithProjections(x, blocks.used_cols, projs, k, &stacked,
+                                 mode);
   Matrix wn = NormalizeWeights(w);
   Matrix means = MatmulTransA(wn, stacked);  // (1 x n_used*k)
 

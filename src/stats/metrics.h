@@ -20,12 +20,14 @@ double AteError(const std::vector<double>& ite_hat,
 
 /// Binary confusion counts at `threshold` on predicted probabilities.
 struct ConfusionCounts {
-  int64_t tp = 0;
-  int64_t fp = 0;
-  int64_t tn = 0;
-  int64_t fn = 0;
+  int64_t tp = 0;  ///< true positives
+  int64_t fp = 0;  ///< false positives
+  int64_t tn = 0;  ///< true negatives
+  int64_t fn = 0;  ///< false negatives
 };
 
+/// Tallies the confusion counts of thresholded probabilities against
+/// binary labels.
 ConfusionCounts Confusion(const std::vector<double>& probs,
                           const std::vector<double>& labels,
                           double threshold = 0.5);
@@ -35,6 +37,7 @@ ConfusionCounts Confusion(const std::vector<double>& probs,
 double F1Score(const std::vector<double>& probs,
                const std::vector<double>& labels, double threshold = 0.5);
 
+/// Fraction of thresholded predictions matching the labels.
 double Accuracy(const std::vector<double>& probs,
                 const std::vector<double>& labels, double threshold = 0.5);
 
@@ -43,11 +46,13 @@ double Accuracy(const std::vector<double>& probs,
 /// (F_std = 1/|E| sum (F_e - mean)^2); `std_dev` reports its square
 /// root for readability, `variance` the paper's raw statistic.
 struct EnvAggregate {
-  double mean = 0.0;
-  double std_dev = 0.0;
-  double variance = 0.0;
+  double mean = 0.0;      ///< mean over environments
+  double std_dev = 0.0;   ///< sqrt of `variance`, for readability
+  double variance = 0.0;  ///< the paper's stability statistic F_std
 };
 
+/// Aggregates one metric's per-environment values into the paper's
+/// mean / stability summary.
 EnvAggregate AggregateOverEnvironments(const std::vector<double>& values);
 
 }  // namespace sbrl

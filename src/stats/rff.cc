@@ -9,6 +9,77 @@
 
 namespace sbrl {
 
+namespace {
+
+/// splitmix64 finalizer: a fast, well-mixed 64-bit hash used to derive
+/// independent per-slot seeds from (epoch, in_dim, k, slot).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Writes the angle block v * w[f] + phi[f] (no cosine, no scale) of
+/// column `col` into columns [col_offset, col_offset + k) of `*out` —
+/// the first half of every column RFF evaluation. The cosine epilogue
+/// is applied afterwards by the shared sweep, over as large a
+/// contiguous run as the caller can arrange.
+void WriteRffAnglesToColumnInto(const RffProjection& proj, const Matrix& x,
+                                int64_t col, Matrix* out,
+                                int64_t col_offset) {
+  SBRL_CHECK_EQ(proj.in_dim(), 1);
+  SBRL_CHECK(col >= 0 && col < x.cols());
+  const int64_t n = x.rows(), kf = proj.num_features();
+  SBRL_CHECK_EQ(out->rows(), n);
+  SBRL_CHECK(col_offset >= 0 && col_offset + kf <= out->cols())
+      << "feature block [" << col_offset << ", " << col_offset + kf
+      << ") out of range for " << out->ShapeString();
+  const double* xcol = x.data() + col;
+  const int64_t stride = x.cols();
+  const double* wd = proj.w.data();
+  const double* phid = proj.phi.data();
+  const int64_t ocols = out->cols();
+  double* od = out->data() + col_offset;
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = xcol[i * stride];
+    double* orow = od + i * ocols;
+    for (int64_t f = 0; f < kf; ++f) {
+      orow[f] = v * wd[f] + phid[f];
+    }
+  }
+}
+
+/// Shared body of the two StackRffColumns overloads once the per-column
+/// projections are in hand: parallel per-column angle fill, then ONE
+/// contiguous scaled-cosine sweep over the whole flat buffer.
+void StackRffColumnsImpl(const Matrix& x, const std::vector<int64_t>& cols,
+                         const std::vector<const RffProjection*>& projs,
+                         int64_t k, Matrix* out, CosineMode mode) {
+  const int64_t n_cols = static_cast<int64_t>(cols.size());
+  SBRL_CHECK_EQ(static_cast<int64_t>(projs.size()), n_cols);
+  SBRL_CHECK_EQ(out->rows(), x.rows());
+  SBRL_CHECK_EQ(out->cols(), n_cols * k);
+  // The angle fill is ~2 flops per element; weigh columns accordingly
+  // so the serial cutoff engages at comparable wall cost to the matmul
+  // kernels. (The cosine cost moved to the flat sweep below.)
+  const int64_t work_per_col = x.rows() * k * 2;
+  const int64_t grain = std::max<int64_t>(
+      1, kParallelSerialCutoff / std::max<int64_t>(1, work_per_col));
+  ParallelFor(0, n_cols, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      WriteRffAnglesToColumnInto(*projs[static_cast<size_t>(i)], x,
+                                 cols[static_cast<size_t>(i)], out, i * k);
+    }
+  });
+  // Flat-angle epilogue: the full (n x n_cols*k) buffer is one
+  // contiguous run, so the vectorized kernel sees long trip counts
+  // instead of k-wide inner loops.
+  ScaledCosInPlace(out->data(), out->size(), std::sqrt(2.0), mode);
+}
+
+}  // namespace
+
 RffProjection SampleRff(Rng& rng, int64_t in_dim, int64_t num_features) {
   SBRL_CHECK_GT(in_dim, 0);
   SBRL_CHECK_GT(num_features, 0);
@@ -18,14 +89,53 @@ RffProjection SampleRff(Rng& rng, int64_t in_dim, int64_t num_features) {
   return proj;
 }
 
-Matrix ApplyRff(const RffProjection& proj, const Matrix& x) {
+uint64_t RffSlotSeed(uint64_t epoch_seed, int64_t in_dim,
+                     int64_t num_features, int64_t slot) {
+  uint64_t h = SplitMix64(epoch_seed);
+  h = SplitMix64(h ^ static_cast<uint64_t>(in_dim));
+  h = SplitMix64(h ^ static_cast<uint64_t>(num_features));
+  return SplitMix64(h ^ static_cast<uint64_t>(slot));
+}
+
+RffProjection SampleRffSlot(uint64_t epoch_seed, int64_t in_dim,
+                            int64_t num_features, int64_t slot) {
+  Rng rng(RffSlotSeed(epoch_seed, in_dim, num_features, slot));
+  return SampleRff(rng, in_dim, num_features);
+}
+
+void RffProjectionCache::BeginEpoch(uint64_t epoch_seed) {
+  if (has_epoch_ && epoch_seed_ == epoch_seed) return;
+  epoch_seed_ = epoch_seed;
+  has_epoch_ = true;
+  draws_this_epoch_ = 0;
+  slots_.clear();
+}
+
+const RffProjection& RffProjectionCache::Slot(int64_t in_dim,
+                                              int64_t num_features,
+                                              int64_t slot) {
+  SBRL_CHECK(has_epoch_) << "RffProjectionCache::Slot before BeginEpoch";
+  SBRL_CHECK_GE(slot, 0);
+  std::deque<RffProjection>& stream = slots_[{in_dim, num_features}];
+  if (static_cast<int64_t>(stream.size()) <= slot) {
+    stream.resize(static_cast<size_t>(slot) + 1);
+  }
+  RffProjection& entry = stream[static_cast<size_t>(slot)];
+  if (entry.w.rows() == 0) {  // sentinel: not drawn yet
+    entry = SampleRffSlot(epoch_seed_, in_dim, num_features, slot);
+    ++draws_this_epoch_;
+  }
+  return entry;
+}
+
+Matrix ApplyRff(const RffProjection& proj, const Matrix& x,
+                CosineMode mode) {
   SBRL_CHECK_EQ(x.cols(), proj.in_dim());
-  // Fused single pass over sqrt(2) cos(x w + phi): the projection sum
-  // accumulates over in_dim in ascending order exactly like Matmul, so
-  // the result matches the former Matmul + AddRowBroadcast + Map chain
-  // without the two intermediate matrices.
+  // Angle pass: the projection sum accumulates over in_dim in ascending
+  // order exactly like Matmul, so angles match the former Matmul +
+  // AddRowBroadcast chain without the intermediate matrices. The
+  // cosine epilogue then runs over the whole buffer as one flat sweep.
   const int64_t n = x.rows(), d = x.cols(), kf = proj.num_features();
-  const double root2 = std::sqrt(2.0);
   const double* xd = x.data();
   const double* wd = proj.w.data();
   const double* phid = proj.phi.data();
@@ -37,68 +147,65 @@ Matrix ApplyRff(const RffProjection& proj, const Matrix& x) {
     for (int64_t f = 0; f < kf; ++f) {
       double acc = 0.0;
       for (int64_t j = 0; j < d; ++j) acc += xrow[j] * wd[j * kf + f];
-      orow[f] = root2 * std::cos(acc + phid[f]);
+      orow[f] = acc + phid[f];
     }
   }
+  ScaledCosInPlace(out.data(), out.size(), std::sqrt(2.0), mode);
   return out;
 }
 
 Matrix ApplyRffToColumn(const RffProjection& proj, const Matrix& x,
-                        int64_t col) {
+                        int64_t col, CosineMode mode) {
   Matrix out(x.rows(), proj.num_features());
-  ApplyRffToColumnInto(proj, x, col, &out, 0);
+  ApplyRffToColumnInto(proj, x, col, &out, 0, mode);
   return out;
 }
 
 void ApplyRffToColumnInto(const RffProjection& proj, const Matrix& x,
-                          int64_t col, Matrix* out, int64_t col_offset) {
-  SBRL_CHECK_EQ(proj.in_dim(), 1);
-  SBRL_CHECK(col >= 0 && col < x.cols());
-  const int64_t n = x.rows(), kf = proj.num_features();
-  SBRL_CHECK_EQ(out->rows(), n);
-  SBRL_CHECK(col_offset >= 0 && col_offset + kf <= out->cols())
-      << "feature block [" << col_offset << ", " << col_offset + kf
-      << ") out of range for " << out->ShapeString();
-  const double root2 = std::sqrt(2.0);
-  const double* xcol = x.data() + col;
-  const int64_t stride = x.cols();
-  const double* wd = proj.w.data();
-  const double* phid = proj.phi.data();
-  const int64_t ocols = out->cols();
-  double* od = out->data() + col_offset;
-  for (int64_t i = 0; i < n; ++i) {
-    const double v = xcol[i * stride];
-    double* orow = od + i * ocols;
-    for (int64_t f = 0; f < kf; ++f) {
-      orow[f] = root2 * std::cos(v * wd[f] + phid[f]);
-    }
-  }
+                          int64_t col, Matrix* out, int64_t col_offset,
+                          CosineMode mode) {
+  WriteRffAnglesToColumnInto(proj, x, col, out, col_offset);
+  // Shared epilogue: one strided sweep over the written block (a flat
+  // sweep when the block spans all of *out), so exact/vectorized mode
+  // selection applies here exactly as in the stacked loss path.
+  ScaledCosRowsInPlace(out->data() + col_offset, out->rows(),
+                       proj.num_features(), out->cols(), std::sqrt(2.0),
+                       mode);
 }
 
 void StackRffColumns(const Matrix& x, const std::vector<int64_t>& cols,
-                     int64_t num_features, Rng& rng, Matrix* out) {
-  const int64_t n_cols = static_cast<int64_t>(cols.size());
-  const int64_t k = num_features;
-  SBRL_CHECK_EQ(out->rows(), x.rows());
-  SBRL_CHECK_EQ(out->cols(), n_cols * k);
+                     int64_t num_features, Rng& rng, Matrix* out,
+                     CosineMode mode) {
   // Projections come out of `rng` serially so the stream never depends
-  // on the worker count; only the cosine evaluation is parallel.
+  // on the worker count; only the angle fill and sweep are parallel.
   std::vector<RffProjection> projs;
-  projs.reserve(static_cast<size_t>(n_cols));
-  for (int64_t i = 0; i < n_cols; ++i) projs.push_back(SampleRff(rng, 1, k));
-  // A cosine costs ~2 cache-blocked flops' worth of several multiply-
-  // adds; weigh it so the serial cutoff engages at comparable wall
-  // cost to the matmul kernels.
-  constexpr int64_t kCosWeight = 16;
-  const int64_t work_per_col = x.rows() * k * kCosWeight;
-  const int64_t grain = std::max<int64_t>(
-      1, kParallelSerialCutoff / std::max<int64_t>(1, work_per_col));
-  ParallelFor(0, n_cols, grain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      ApplyRffToColumnInto(projs[static_cast<size_t>(i)], x,
-                           cols[static_cast<size_t>(i)], out, i * k);
-    }
-  });
+  projs.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    projs.push_back(SampleRff(rng, 1, num_features));
+  }
+  StackRffColumnsWithProjections(x, cols, projs, num_features, out, mode);
+}
+
+void StackRffColumnsWithProjections(
+    const Matrix& x, const std::vector<int64_t>& cols,
+    const std::vector<const RffProjection*>& projs, int64_t num_features,
+    Matrix* out, CosineMode mode) {
+  for (const RffProjection* p : projs) {
+    SBRL_CHECK(p != nullptr);
+    SBRL_CHECK_EQ(p->in_dim(), 1);
+    SBRL_CHECK_EQ(p->num_features(), num_features);
+  }
+  StackRffColumnsImpl(x, cols, projs, num_features, out, mode);
+}
+
+void StackRffColumnsWithProjections(
+    const Matrix& x, const std::vector<int64_t>& cols,
+    const std::vector<RffProjection>& projs, int64_t num_features,
+    Matrix* out, CosineMode mode) {
+  std::vector<const RffProjection*> views;
+  views.reserve(projs.size());
+  for (const RffProjection& p : projs) views.push_back(&p);
+  StackRffColumnsWithProjections(x, cols, views, num_features, out, mode);
 }
 
 }  // namespace sbrl

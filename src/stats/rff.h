@@ -2,7 +2,12 @@
 #define SBRL_STATS_RFF_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
 
+#include "common/simd.h"
 #include "tensor/matrix.h"
 #include "tensor/random.h"
 
@@ -13,44 +18,139 @@ namespace sbrl {
 /// phi ~ U(0, 2 pi). `w` has one row per input dimension and one column
 /// per random feature.
 struct RffProjection {
-  Matrix w;    // (in_dim x num_features)
-  Matrix phi;  // (1 x num_features)
+  Matrix w;    ///< frequency matrix (in_dim x num_features)
+  Matrix phi;  ///< phase row (1 x num_features)
 
+  /// Number of cosine features (columns of `w`).
   int64_t num_features() const { return w.cols(); }
+  /// Input dimension the projection applies to (rows of `w`).
   int64_t in_dim() const { return w.rows(); }
 };
 
-/// Samples an RFF projection with `num_features` cosine features.
+/// Samples an RFF projection with `num_features` cosine features from
+/// the sequential stream of `rng` (in_dim * num_features normals, then
+/// num_features uniform phases).
 RffProjection SampleRff(Rng& rng, int64_t in_dim, int64_t num_features);
 
+/// Seed of the dedicated rng that generates slot `slot` of the
+/// (in_dim, num_features) projection stream of a draw epoch — a
+/// counter-based splitmix64 hash of all four values. Each slot owns an
+/// independent stream, so projections can be (re)generated in any
+/// order, by any caller, one at a time or in bulk, and always come out
+/// bitwise identical. This is what makes RffProjectionCache a pure
+/// memoization: cached and uncached evaluation of the same epoch see
+/// the same projections.
+uint64_t RffSlotSeed(uint64_t epoch_seed, int64_t in_dim,
+                     int64_t num_features, int64_t slot);
+
+/// The projection of slot `slot` in epoch `epoch_seed`: SampleRff from
+/// a fresh Rng seeded with RffSlotSeed. Deterministic in its arguments
+/// alone — no shared stream is consumed.
+RffProjection SampleRffSlot(uint64_t epoch_seed, int64_t in_dim,
+                            int64_t num_features, int64_t slot);
+
+/// Memoizes SampleRffSlot draws within one draw epoch so evaluations
+/// sharing a (in_dim, num_features, epoch) stream — e.g. the HAP tiers
+/// of one weight step, which all decorrelate with in_dim = 1 and the
+/// same feature count k — sample each slot's projection once instead
+/// of once per tier. Because slots are counter-based, the cache is
+/// value-transparent: training with the cache enabled is bitwise
+/// identical to training without it, and no shared rng stream position
+/// depends on hit/miss order or the worker-thread count.
+///
+/// Not thread-safe; callers serialize access (the trainer owns one and
+/// queries it from the weight step only).
+class RffProjectionCache {
+ public:
+  /// Starts a new draw epoch: previously memoized projections are
+  /// dropped and future Slot() calls draw from `epoch_seed`'s streams.
+  /// Calling with the current epoch's seed is a no-op, so one cache
+  /// can be re-primed defensively.
+  void BeginEpoch(uint64_t epoch_seed);
+
+  /// The projection of `slot` in the current epoch's
+  /// (in_dim, num_features) stream, drawn on first use and memoized
+  /// until the next BeginEpoch. The reference stays valid until then —
+  /// later Slot() calls never invalidate it (deque-backed storage).
+  const RffProjection& Slot(int64_t in_dim, int64_t num_features,
+                            int64_t slot);
+
+  /// Seed of the epoch started by the last BeginEpoch (0 before any).
+  uint64_t epoch_seed() const { return epoch_seed_; }
+
+  /// Projections drawn (i.e. cache misses) since the last BeginEpoch —
+  /// lets tests assert the cross-tier amortization actually happens.
+  int64_t draws_this_epoch() const { return draws_this_epoch_; }
+
+ private:
+  uint64_t epoch_seed_ = 0;
+  bool has_epoch_ = false;
+  int64_t draws_this_epoch_ = 0;
+  /// (in_dim, num_features) -> slot-indexed projections; an empty `w`
+  /// marks a slot not yet drawn. std::deque so growing for a new slot
+  /// keeps references to already-drawn slots valid.
+  std::map<std::pair<int64_t, int64_t>, std::deque<RffProjection>> slots_;
+};
+
 /// Applies the projection to samples `x` (n x in_dim), returning the
-/// (n x num_features) feature matrix sqrt(2) cos(x w + phi).
-Matrix ApplyRff(const RffProjection& proj, const Matrix& x);
+/// (n x num_features) feature matrix sqrt(2) cos(x w + phi). The
+/// projection sum accumulates over in_dim in ascending order; the
+/// cosine epilogue runs through the shared sweep selected by `mode`.
+Matrix ApplyRff(const RffProjection& proj, const Matrix& x,
+                CosineMode mode = CosineMode::kVectorized);
 
 /// ApplyRff of column `col` of `x`, read in place through a strided
 /// pointer — no Matrix::Col copy. `proj` must have in_dim() == 1.
-/// Identical output to ApplyRff(proj, x.Col(col)).
+/// Identical output to ApplyRff(proj, x.Col(col), mode).
 Matrix ApplyRffToColumn(const RffProjection& proj, const Matrix& x,
-                        int64_t col);
+                        int64_t col,
+                        CosineMode mode = CosineMode::kVectorized);
 
 /// ApplyRffToColumn writing its (n x num_features) block into columns
 /// [col_offset, col_offset + num_features) of `*out` (n rows) instead
 /// of allocating. Lets callers assemble the stacked n x (d * k) feature
 /// matrix of the batched HSIC pair loss with one buffer and no
-/// per-feature copies. Values are bitwise identical to
-/// ApplyRffToColumn.
+/// per-feature copies. The angles land first and the sqrt(2) cos
+/// epilogue runs through the shared sweep. In kExact mode — and in
+/// either mode when the block spans all of `*out` (out->cols() ==
+/// num_features) — values are bitwise identical to ApplyRffToColumn;
+/// in kVectorized mode a block embedded in a WIDER matrix sweeps each
+/// row as its own short SIMD run, whose scalar-tail elements may
+/// differ from the flat layout's by the usual <= kVecCosMaxUlp.
 void ApplyRffToColumnInto(const RffProjection& proj, const Matrix& x,
-                          int64_t col, Matrix* out, int64_t col_offset);
+                          int64_t col, Matrix* out, int64_t col_offset,
+                          CosineMode mode = CosineMode::kVectorized);
 
 /// Builds the stacked feature matrix of the batched HSIC pair loss:
 /// block i of `*out` (columns [i*k, (i+1)*k), k = num_features) holds
 /// the RFF features of column cols[i] of `x`. One projection per
 /// column is drawn from `rng` serially in list order — the stream is
-/// independent of threading — and the cosine evaluation (the dominant
-/// cost of the decorrelation loss) fans out across the pool for large
-/// stacks. `*out` must be (x.rows() x cols.size()*k).
+/// independent of threading. The evaluation materializes the full
+/// n x (cols.size()*k) ANGLE matrix with the blocked per-column
+/// kernels, then runs one contiguous scaled-cosine sweep over it (the
+/// flat-angle layout that lets the dominant cost of the decorrelation
+/// loss vectorize). `*out` must be (x.rows() x cols.size()*k).
 void StackRffColumns(const Matrix& x, const std::vector<int64_t>& cols,
-                     int64_t num_features, Rng& rng, Matrix* out);
+                     int64_t num_features, Rng& rng, Matrix* out,
+                     CosineMode mode = CosineMode::kVectorized);
+
+/// StackRffColumns with the per-column projections supplied by the
+/// caller (projs[i] applies to column cols[i]; every projection must
+/// have in_dim() == 1 and `num_features` columns) — the entry point of
+/// the slot/cache draw path, where projections come from
+/// RffProjectionCache::Slot or SampleRffSlot instead of a sequential
+/// rng stream. The pointer form serves callers whose projections
+/// already live elsewhere (e.g. inside a cache); the value form is the
+/// convenience for locally drawn vectors.
+void StackRffColumnsWithProjections(
+    const Matrix& x, const std::vector<int64_t>& cols,
+    const std::vector<const RffProjection*>& projs, int64_t num_features,
+    Matrix* out, CosineMode mode = CosineMode::kVectorized);
+/// Value-vector convenience overload of the above.
+void StackRffColumnsWithProjections(
+    const Matrix& x, const std::vector<int64_t>& cols,
+    const std::vector<RffProjection>& projs, int64_t num_features,
+    Matrix* out, CosineMode mode = CosineMode::kVectorized);
 
 }  // namespace sbrl
 

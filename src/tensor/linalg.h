@@ -62,8 +62,13 @@ void BlockPairMatmulTransAGradInto(
 /// `w` is an (n x 1) weight column scaling each sample row. Fuses the
 /// row scaling into the product, so no weighted copy of `f` is ever
 /// materialized. Each scalar term is (f(i, ar) * w(i)) * f(i, bc) with
-/// the n terms accumulated in ascending row order — bitwise identical
-/// to MulColBroadcast followed by MatmulTransA on the column slices.
+/// the n terms accumulated in ascending row order. On a
+/// ZERO-INITIALIZED `*out` (how every in-tree caller uses it) the
+/// result is bitwise identical to MulColBroadcast followed by
+/// MatmulTransA on the column slices, for specialized and generic
+/// block sizes alike; accumulating into a nonzero `*out` is still
+/// correct but the specialized sizes (see linalg.cc) group the added
+/// terms differently, so only values-within-rounding is guaranteed.
 void BlockPairWeightedCrossInto(
     const Matrix& f, const Matrix& w, int64_t block,
     const std::vector<std::pair<int64_t, int64_t>>& pairs, Matrix* out);

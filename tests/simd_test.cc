@@ -1,0 +1,308 @@
+// Coverage for the vectorized cosine engine (common/simd.h) and the
+// projection-slot draw discipline it feeds (stats/rff.h):
+//  - VecCos must stay within the documented kVecCosMaxUlp of std::cos
+//    over edge angles (signed zero, pi multiples, huge arguments,
+//    denormals) and broad random ranges;
+//  - the exact CosineMode must reproduce scalar std::cos bitwise;
+//  - RffProjectionCache must be value-transparent: the decorrelation
+//    loss, its weight gradient, and full fixed-seed training are
+//    bitwise identical with the cache on and off (exact cosine mode,
+//    per the determinism contract — and in vectorized mode too, since
+//    the cache never touches the numerics).
+// The threads2 ctest variant reruns this suite under SBRL_NUM_THREADS=2,
+// exercising the block-aligned parallel fan-out of the sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/simd.h"
+#include "core/estimator.h"
+#include "core/independence_regularizer.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace {
+
+/// Distance in units in the last place between two doubles: the gap
+/// between their positions in the monotonic ordering of finite
+/// doubles (0 iff bitwise equal up to -0.0 == +0.0).
+int64_t UlpDiff(double a, double b) {
+  if (a == b) return 0;
+  int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude double ordering onto a monotonic integer
+  // line so subtraction counts representable values between a and b.
+  if (ia < 0) ia = std::numeric_limits<int64_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<int64_t>::min() - ib;
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+/// Edge angles plus dense random coverage of the ranges RFF angles
+/// live in (|w x + phi| is rarely beyond a few hundred, but the sweep
+/// must stay accurate everywhere).
+std::vector<double> TestAngles() {
+  std::vector<double> xs = {0.0, -0.0};
+  for (int m = 1; m <= 100; ++m) {
+    xs.push_back(m * M_PI);
+    xs.push_back(-m * M_PI);
+    xs.push_back(m * M_PI_2);
+    xs.push_back(-m * M_PI_2);
+  }
+  // Denormals and the smallest normals.
+  xs.push_back(5e-324);
+  xs.push_back(-5e-324);
+  xs.push_back(1e-310);
+  xs.push_back(2.2250738585072014e-308);
+  // Large |x|: the vector kernel's range reduction must hold up.
+  for (double big : {1e6, 1e10, 1e15, 1e18, 1e300}) {
+    xs.push_back(big);
+    xs.push_back(-big);
+  }
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) xs.push_back(rng.Uniform(-20.0, 20.0));
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.Uniform(-1e4, 1e4));
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.Uniform(-1e9, 1e9));
+  return xs;
+}
+
+TEST(VecCosTest, WithinDocumentedUlpOfStdCosOverEdgeAngles) {
+  std::vector<double> xs = TestAngles();
+  std::vector<double> ys(xs.size());
+  VecCos(xs.data(), ys.data(), static_cast<int64_t>(xs.size()));
+  int64_t max_ulp = 0;
+  double worst = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const int64_t u = UlpDiff(std::cos(xs[i]), ys[i]);
+    if (u > max_ulp) {
+      max_ulp = u;
+      worst = xs[i];
+    }
+  }
+  EXPECT_LE(max_ulp, kVecCosMaxUlp) << "worst angle " << worst;
+}
+
+TEST(VecCosTest, InPlaceMatchesOutOfPlace) {
+  std::vector<double> xs = TestAngles();
+  std::vector<double> ys(xs.size());
+  VecCos(xs.data(), ys.data(), static_cast<int64_t>(xs.size()));
+  std::vector<double> inplace = xs;
+  VecCos(inplace.data(), inplace.data(),
+         static_cast<int64_t>(inplace.size()));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(inplace[i], ys[i]) << "element " << i;
+  }
+}
+
+TEST(ScaledCosTest, ExactModeReproducesScalarStdCosBitwise) {
+  std::vector<double> xs = TestAngles();
+  std::vector<double> swept = xs;
+  const double scale = std::sqrt(2.0);
+  ScaledCosInPlace(swept.data(), static_cast<int64_t>(swept.size()), scale,
+                   CosineMode::kExact);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double want = scale * std::cos(xs[i]);
+    EXPECT_EQ(swept[i], want) << "element " << i << " angle " << xs[i];
+  }
+}
+
+TEST(ScaledCosTest, ModesAgreeWithinCosineUlpBound) {
+  std::vector<double> xs = TestAngles();
+  std::vector<double> vec = xs, exact = xs;
+  const double scale = std::sqrt(2.0);
+  const int64_t n = static_cast<int64_t>(xs.size());
+  ScaledCosInPlace(vec.data(), n, scale, CosineMode::kVectorized);
+  ScaledCosInPlace(exact.data(), n, scale, CosineMode::kExact);
+  int64_t max_ulp = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    max_ulp = std::max(max_ulp, UlpDiff(vec[i], exact[i]));
+  }
+  // Both modes multiply by the identical scale, so the disagreement is
+  // the cosine bound alone.
+  EXPECT_LE(max_ulp, kVecCosMaxUlp);
+}
+
+TEST(ScaledCosTest, StridedRowsMatchContiguousPerRow) {
+  // A (rows x cols) block embedded at column 3 of a wider matrix must
+  // sweep exactly like each row swept alone.
+  const int64_t rows = 40, cols = 5, stride = 12;
+  Rng rng(9);
+  Matrix wide = rng.Rand(rows, stride, -10.0, 10.0);
+  Matrix expect = wide;
+  for (CosineMode mode : {CosineMode::kVectorized, CosineMode::kExact}) {
+    Matrix got = wide;
+    ScaledCosRowsInPlace(got.data() + 3, rows, cols, stride, 2.0, mode);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::vector<double> row(cols);
+      for (int64_t c = 0; c < cols; ++c) row[c] = expect(r, 3 + c);
+      ScaledCosInPlace(row.data(), cols, 2.0, mode);
+      for (int64_t c = 0; c < cols; ++c) {
+        EXPECT_EQ(got(r, 3 + c), row[c]) << "row " << r << " col " << c;
+      }
+      // Columns outside the block are untouched.
+      for (int64_t c = 0; c < 3; ++c) EXPECT_EQ(got(r, c), expect(r, c));
+      for (int64_t c = 8; c < stride; ++c) {
+        EXPECT_EQ(got(r, c), expect(r, c));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slot draws and the projection cache.
+// ---------------------------------------------------------------------------
+
+TEST(RffSlotTest, SlotDrawsAreDeterministicAndIndependent) {
+  const RffProjection a = SampleRffSlot(123, 1, 5, 7);
+  const RffProjection b = SampleRffSlot(123, 1, 5, 7);
+  ASSERT_EQ(a.w.size(), b.w.size());
+  for (int64_t i = 0; i < a.w.size(); ++i) EXPECT_EQ(a.w[i], b.w[i]);
+  for (int64_t i = 0; i < a.phi.size(); ++i) EXPECT_EQ(a.phi[i], b.phi[i]);
+  // Distinct slots / epochs / shapes give distinct seeds.
+  EXPECT_NE(RffSlotSeed(123, 1, 5, 7), RffSlotSeed(123, 1, 5, 8));
+  EXPECT_NE(RffSlotSeed(123, 1, 5, 7), RffSlotSeed(124, 1, 5, 7));
+  EXPECT_NE(RffSlotSeed(123, 1, 5, 7), RffSlotSeed(123, 1, 6, 7));
+  EXPECT_NE(RffSlotSeed(123, 1, 5, 7), RffSlotSeed(123, 2, 5, 7));
+}
+
+TEST(RffProjectionCacheTest, MemoizesWithinEpochAndResetsAcrossEpochs) {
+  RffProjectionCache cache;
+  cache.BeginEpoch(42);
+  const RffProjection& first = cache.Slot(1, 5, 3);
+  const RffProjection uncached = SampleRffSlot(42, 1, 5, 3);
+  for (int64_t i = 0; i < first.w.size(); ++i) {
+    EXPECT_EQ(first.w[i], uncached.w[i]);
+  }
+  EXPECT_EQ(cache.draws_this_epoch(), 1);
+  // Second lookup of the same slot is a hit — including through a
+  // redundant BeginEpoch with the same seed (the cross-tier pattern).
+  cache.BeginEpoch(42);
+  const RffProjection& again = cache.Slot(1, 5, 3);
+  EXPECT_EQ(&again, &first);
+  EXPECT_EQ(cache.draws_this_epoch(), 1);
+  // References stay valid while later slots force storage growth.
+  const RffProjection& late = cache.Slot(1, 5, 200);
+  EXPECT_EQ(late.w.cols(), 5);
+  EXPECT_EQ(first.w[0], uncached.w[0]);
+  // A new epoch redraws.
+  cache.BeginEpoch(43);
+  EXPECT_EQ(cache.draws_this_epoch(), 0);
+  const RffProjection& fresh = cache.Slot(1, 5, 3);
+  EXPECT_NE(fresh.w[0], uncached.w[0]);
+}
+
+/// Loss and weight gradient of one decorrelation evaluation under a
+/// fixed draw epoch, optionally memoized.
+std::pair<double, Matrix> LossAndGrad(const Matrix& z, const Matrix& w_val,
+                                      uint64_t seed, CosineMode cos_mode,
+                                      RffProjectionCache* cache) {
+  Tape tape;
+  Var w = tape.Leaf(w_val);
+  Rng rng(seed);
+  RffDrawEpoch epoch{seed * 77 + 1, cache};
+  Var loss =
+      HsicRffDecorrelationLoss(z, w, 5, 0, rng, BatchedHsicMode::kBatched,
+                               cos_mode, &epoch);
+  tape.Backward(loss);
+  return {loss.value().scalar(), w.grad()};
+}
+
+TEST(RffProjectionCacheTest, LossAndGradBitwiseIdenticalWithCacheOnAndOff) {
+  Rng data_rng(1001);
+  Matrix z = data_rng.Randn(60, 6);
+  Matrix w_val = data_rng.Rand(60, 1, 0.5, 2.0);
+  for (CosineMode cos_mode : {CosineMode::kExact, CosineMode::kVectorized}) {
+    RffProjectionCache cache;
+    const auto [loss_off, grad_off] =
+        LossAndGrad(z, w_val, 5, cos_mode, nullptr);
+    const auto [loss_on, grad_on] =
+        LossAndGrad(z, w_val, 5, cos_mode, &cache);
+    EXPECT_EQ(loss_on, loss_off);
+    ASSERT_TRUE(grad_on.same_shape(grad_off));
+    for (int64_t i = 0; i < grad_on.size(); ++i) {
+      EXPECT_EQ(grad_on[i], grad_off[i]) << "grad element " << i;
+    }
+    EXPECT_GT(cache.draws_this_epoch(), 0);
+  }
+}
+
+TEST(RffProjectionCacheTest,
+     FixedSeedTrainingBitwiseIdenticalWithCacheOnAndOff) {
+  // End-to-end: two estimator fits differing ONLY in the cache flag
+  // must produce bitwise-identical sample weights and predictions in
+  // the exact cosine mode (the mode the bitwise determinism contract
+  // covers).
+  SyntheticDims dims;
+  dims.m_i = 3;
+  dims.m_c = 3;
+  dims.m_a = 3;
+  dims.m_v = 1;
+  SyntheticModel world(dims, 77);
+  CausalDataset observed = world.SampleEnvironment(90, 2.5, 1);
+  const auto fit = [&](bool use_cache) {
+    EstimatorConfig config;
+    config.backbone = BackboneKind::kCfr;
+    config.framework = FrameworkKind::kSbrlHap;
+    config.network.rep_layers = 2;
+    config.network.rep_width = 8;
+    config.network.head_layers = 1;
+    config.network.head_width = 4;
+    config.train.iterations = 12;
+    config.train.eval_every = 0;
+    config.train.seed = 5;
+    config.sbrl.rff_cos_mode = CosineMode::kExact;
+    config.sbrl.rff_projection_cache = use_cache;
+    auto estimator = HteEstimator::Create(config);
+    SBRL_CHECK(estimator.ok());
+    SBRL_CHECK(estimator->Fit(observed).ok());
+    return std::make_pair(estimator->sample_weights(),
+                          estimator->PredictIte(observed.x));
+  };
+  const auto [w_on, ite_on] = fit(true);
+  const auto [w_off, ite_off] = fit(false);
+  ASSERT_TRUE(w_on.same_shape(w_off));
+  for (int64_t i = 0; i < w_on.size(); ++i) {
+    EXPECT_EQ(w_on[i], w_off[i]) << "weight " << i;
+  }
+  ASSERT_EQ(ite_on.size(), ite_off.size());
+  for (size_t i = 0; i < ite_on.size(); ++i) {
+    EXPECT_EQ(ite_on[i], ite_off[i]) << "ite " << i;
+  }
+}
+
+TEST(RffStackTest, ExactModeStackMatchesScalarFormulaBitwise) {
+  // The flat-angle restructure must not change exact-mode values: each
+  // stacked feature equals sqrt(2) * std::cos(v * w_f + phi_f) exactly
+  // as the pre-flat per-element loop computed it.
+  Rng data_rng(31);
+  Matrix x = data_rng.Randn(50, 4);
+  std::vector<int64_t> cols = {0, 2, 3};
+  const int64_t k = 5;
+  Rng draw_a(8), draw_b(8);
+  Matrix stacked(50, static_cast<int64_t>(cols.size()) * k);
+  StackRffColumns(x, cols, k, draw_a, &stacked, CosineMode::kExact);
+  const double root2 = std::sqrt(2.0);
+  for (size_t ci = 0; ci < cols.size(); ++ci) {
+    RffProjection proj = SampleRff(draw_b, 1, k);
+    for (int64_t i = 0; i < x.rows(); ++i) {
+      for (int64_t f = 0; f < k; ++f) {
+        const double want =
+            root2 * std::cos(x(i, cols[ci]) * proj.w(0, f) + proj.phi(0, f));
+        EXPECT_EQ(stacked(i, static_cast<int64_t>(ci) * k + f), want)
+            << "col " << cols[ci] << " row " << i << " feature " << f;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbrl
