@@ -10,16 +10,18 @@
 // machine-readable across PRs. The writer CHECKs every timing is
 // finite, which the ctest smoke perf guard relies on.
 //
-// For every weight-learning method, a second "<name>/weight_step"
-// entry records the seconds spent inside the sample-weight phase, and
-// a third "<name>/rff_cos" entry the seconds inside the RFF cosine
-// sweeps, so the JSON captures the weight-loss and cosine shares of
-// training (the phases the batched HSIC kernel and the vectorized
-// cosine engine target). SBRL_HSIC_MODE=exact reruns the suite on the
-// per-pair reference path, and SBRL_COS_MODE=exact on the scalar
-// std::cos path, at otherwise identical scale/flags — the
-// before/after comparisons documented in README "Weight-loss
-// batching" / "Vectorized RFF cosine".
+// Every method records a "<name>/net_step" entry with the seconds
+// spent inside the network step (the phase the fused network-step
+// engine targets); for every weight-learning method, a
+// "<name>/weight_step" entry records the seconds spent inside the
+// sample-weight phase, and a "<name>/rff_cos" entry the seconds
+// inside the RFF cosine sweeps, so the JSON captures the phase shares
+// of training across PRs. SBRL_HSIC_MODE=exact reruns the suite on
+// the per-pair reference path, SBRL_COS_MODE=exact on the scalar
+// std::cos path, and SBRL_NET_STEP_MODE=reference on the unfused
+// per-primitive network step, at otherwise identical scale/flags —
+// the before/after comparisons documented in README "Weight-loss
+// batching" / "Vectorized RFF cosine" / "Fused network step".
 
 #include <benchmark/benchmark.h>
 
@@ -47,6 +49,17 @@ BatchedHsicMode HsicModeFromEnv() {
   return BatchedHsicMode::kExact;
 }
 
+NetStepMode NetStepModeFromEnv() {
+  const char* env = std::getenv("SBRL_NET_STEP_MODE");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "fused") == 0) {
+    return NetStepMode::kFused;
+  }
+  SBRL_CHECK(std::strcmp(env, "reference") == 0)
+      << "SBRL_NET_STEP_MODE must be 'fused' or 'reference', got '" << env
+      << "'";
+  return NetStepMode::kReference;
+}
+
 CosineMode CosModeFromEnv() {
   const char* env = std::getenv("SBRL_COS_MODE");
   if (env == nullptr || *env == '\0' ||
@@ -71,12 +84,15 @@ void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
     config.train.eval_every = 0;  // measure the raw optimization loop
     config.sbrl.hsic_mode = HsicModeFromEnv();
     config.sbrl.rff_cos_mode = CosModeFromEnv();
+    config.sbrl.net_step_mode = NetStepModeFromEnv();
     auto estimator = HteEstimator::Create(config);
     SBRL_CHECK(estimator.ok());
     Timer fit_timer;
     SBRL_CHECK(estimator->Fit(splits.train, &splits.valid).ok());
     if (g_json != nullptr) {
       g_json->Record(spec.name(), fit_timer.ElapsedSeconds());
+      g_json->Record(spec.name() + "/net_step",
+                     estimator->diagnostics().net_step_seconds);
       if (config.framework != FrameworkKind::kVanilla) {
         g_json->Record(spec.name() + "/weight_step",
                        estimator->diagnostics().weight_step_seconds);

@@ -1,5 +1,6 @@
 #include "autodiff/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <utility>
@@ -79,6 +80,65 @@ double StableSigmoid(double x) {
 
 double StableSoftplus(double x) {
   return std::max(x, 0.0) + std::log1p(std::exp(-std::abs(x)));
+}
+
+/// Static activation policies for the fused network-step ops: F is the
+/// forward value (the same formulas the standalone UnaryOp activations
+/// evaluate, so fused and reference forwards are bitwise identical);
+/// D reconstructs the derivative from the POST-activation value alone.
+/// Every ActKind admits D(y) (it is the membership criterion): for
+/// elu, y > 0 iff x > 0 and y = expm1(x) on the negative branch, so
+/// the reference rule x > 0 ? 1 : y + 1 equals y > 0 ? 1 : y + 1 bit
+/// for bit; relu / tanh / sigmoid are standard. The policies are
+/// dispatched ONCE per op call (DispatchAct), so the per-element loops
+/// inline the activation exactly like the reference UnaryOp lambdas.
+struct IdentityAct {
+  static double F(double x) { return x; }
+  static double D(double) { return 1.0; }
+};
+struct EluAct {
+  static double F(double x) { return x > 0.0 ? x : std::expm1(x); }
+  static double D(double y) { return y > 0.0 ? 1.0 : y + 1.0; }
+};
+struct ReluAct {
+  static double F(double x) { return x > 0.0 ? x : 0.0; }
+  static double D(double y) { return y > 0.0 ? 1.0 : 0.0; }
+};
+struct TanhAct {
+  static double F(double x) { return std::tanh(x); }
+  static double D(double y) { return 1.0 - y * y; }
+};
+struct SigmoidAct {
+  static double F(double x) { return StableSigmoid(x); }
+  static double D(double y) { return y * (1.0 - y); }
+};
+
+/// Calls fn with the activation policy type selected by `act`.
+template <typename Fn>
+auto DispatchAct(ActKind act, Fn&& fn) {
+  switch (act) {
+    case ActKind::kIdentity: return fn(IdentityAct{});
+    case ActKind::kElu: return fn(EluAct{});
+    case ActKind::kRelu: return fn(ReluAct{});
+    case ActKind::kTanh: return fn(TanhAct{});
+    case ActKind::kSigmoid: return fn(SigmoidAct{});
+  }
+  SBRL_CHECK(false) << "unreachable";
+  return fn(IdentityAct{});
+}
+
+/// Runs body(r0, r1) over the rows of an (rows x cols) matrix: serial
+/// below the shared flop cutoff, row-parallel chunks above it. Row
+/// bodies write disjoint rows, so results are worker-count invariant.
+template <typename Body>
+void RowwiseFor(int64_t rows, int64_t cols, Body body) {
+  if (rows * cols <= kParallelSerialCutoff) {
+    body(static_cast<int64_t>(0), rows);
+    return;
+  }
+  const int64_t grain =
+      std::max<int64_t>(1, kParallelSerialCutoff / std::max<int64_t>(1, cols));
+  ParallelFor(0, rows, grain, body);
 }
 
 }  // namespace
@@ -510,6 +570,51 @@ Var SelectRowsByTreatment(Var a, Var b, const std::vector<int>& t_assign) {
   });
 }
 
+Var ScatterRowsByTreatment(Var a, Var b, const std::vector<int>& t_assign) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK_EQ(a.cols(), b.cols());
+  SBRL_CHECK_EQ(a.rows() + b.rows(),
+                static_cast<int64_t>(t_assign.size()));
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  const int64_t n = static_cast<int64_t>(t_assign.size());
+  const int64_t d = av.cols();
+  int64_t num_treated = 0;
+  for (int v : t_assign) num_treated += v == 1 ? 1 : 0;
+  SBRL_CHECK(num_treated == av.rows() && n - num_treated == bv.rows())
+      << "treatment vector does not partition the arm row counts: "
+      << num_treated << " treated vs " << av.ShapeString() << ", "
+      << n - num_treated << " control vs " << bv.ShapeString();
+  Matrix out = t->NewZero(n, d);
+  {
+    int64_t ra = 0, rb = 0;
+    for (int64_t r = 0; r < n; ++r) {
+      const bool treated = t_assign[static_cast<size_t>(r)] == 1;
+      const Matrix& src = treated ? av : bv;
+      const int64_t sr = treated ? ra++ : rb++;
+      for (int64_t c = 0; c < d; ++c) out(r, c) = src(sr, c);
+    }
+  }
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, b},
+                     [ai, bi, self, t_assign](Tape* t) {
+    const Matrix& g = t->grad(self);
+    const Matrix& av = t->value(ai);
+    const Matrix& bv = t->value(bi);
+    Matrix da = t->NewZero(av.rows(), av.cols());
+    Matrix db = t->NewZero(bv.rows(), bv.cols());
+    int64_t ra = 0, rb = 0;
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      const bool treated = t_assign[static_cast<size_t>(r)] == 1;
+      Matrix& dst = treated ? da : db;
+      const int64_t sr = treated ? ra++ : rb++;
+      for (int64_t c = 0; c < g.cols(); ++c) dst(sr, c) = g(r, c);
+    }
+    t->AccumulateGrad(ai, std::move(da));
+    t->AccumulateGrad(bi, std::move(db));
+  });
+}
+
 Var SliceCols(Var a, int64_t start, int64_t count) {
   Tape* t = a.tape();
   SBRL_CHECK(a.valid());
@@ -842,6 +947,428 @@ Var Affine(Var x, Var w, Var b) {
         for (int64_t c = 0; c < g.cols(); ++c) db(0, c) += g(r, c);
       }
       t->AccumulateGrad(bi, std::move(db));
+    }
+  });
+}
+
+namespace {
+
+/// Shared backward tail of the fused network-step ops: given
+/// d(pre-activation) `dpre`, emits dx / dW / db with the same
+/// requires_grad gating as ops::Affine (a constant first-layer input
+/// skips the full-batch dx matmul). Consumes `dpre` (recycled).
+void AffineBackwardFromDpre(Tape* t, int xi, int wi, int bi, Matrix&& dpre) {
+  const Matrix& xv = t->value(xi);
+  const Matrix& wv = t->value(wi);
+  if (t->requires_grad(xi)) {
+    Matrix dx = t->NewZero(xv.rows(), xv.cols());
+    MatmulTransBInto(dpre, wv, &dx);
+    t->AccumulateGrad(xi, std::move(dx));
+  }
+  if (t->requires_grad(wi)) {
+    Matrix dw = t->NewZero(wv.rows(), wv.cols());
+    MatmulTransAInto(xv, dpre, &dw);
+    t->AccumulateGrad(wi, std::move(dw));
+  }
+  if (t->requires_grad(bi)) {
+    Matrix db = t->NewZero(1, dpre.cols());
+    for (int64_t r = 0; r < dpre.rows(); ++r) {
+      for (int64_t c = 0; c < dpre.cols(); ++c) db(0, c) += dpre(r, c);
+    }
+    t->AccumulateGrad(bi, std::move(db));
+  }
+  t->Recycle(std::move(dpre));
+}
+
+/// Affine forward into a pooled buffer: x W + broadcast b.
+Matrix AffineForwardInto(Tape* t, const Matrix& xv, const Matrix& wv,
+                         const Matrix& bv) {
+  const int64_t n = xv.rows(), m = wv.cols();
+  Matrix pre = t->NewZero(n, m);
+  MatmulInto(xv, wv, &pre);
+  double* pd = pre.data();
+  const double* bd = bv.data();
+  RowwiseFor(n, m, [pd, bd, m](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      double* prow = pd + r * m;
+      for (int64_t c = 0; c < m; ++c) prow[c] += bd[c];
+    }
+  });
+  return pre;
+}
+
+/// d(pre-activation) of a fused op, reconstructed from the upstream
+/// gradient and the stored POST-activation output alone (see the Act
+/// policy contract above). Returned in a pooled buffer.
+template <typename Act>
+Matrix DpreFromOutput(Tape* t, const Matrix& g, const Matrix& yv) {
+  Matrix dpre = t->NewZero(yv.rows(), yv.cols());
+  const double* gd = g.data();
+  const double* yd = yv.data();
+  double* pd = dpre.data();
+  ElementwiseFor(yv.size(), [gd, yd, pd](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pd[i] = gd[i] * Act::D(yd[i]);
+  });
+  return dpre;
+}
+
+/// AffineAct body, templated on the activation policy so the
+/// per-element calls inline like the reference UnaryOp lambdas.
+template <typename Act>
+Var AffineActImpl(Var x, Var w, Var b) {
+  Tape* t = SameTape(x, w);
+  SameTape(w, b);
+  SBRL_CHECK_EQ(x.cols(), w.rows());
+  SBRL_CHECK_EQ(b.rows(), 1);
+  SBRL_CHECK_EQ(b.cols(), w.cols());
+  const Matrix& xv = x.value();
+  const Matrix& wv = w.value();
+  const Matrix& bv = b.value();
+  const int64_t n = xv.rows(), m = wv.cols();
+  Matrix out = t->NewZero(n, m);
+  MatmulInto(xv, wv, &out);
+  {
+    // Bias add and activation in one pass over the matmul output; the
+    // pre-activation is overwritten in place and never kept.
+    double* od = out.data();
+    const double* bd = bv.data();
+    RowwiseFor(n, m, [od, bd, m](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        double* orow = od + r * m;
+        for (int64_t c = 0; c < m; ++c) {
+          orow[c] = Act::F(orow[c] + bd[c]);
+        }
+      }
+    });
+  }
+  const int xi = x.id(), wi = w.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(std::move(out), {x, w, b},
+                     [xi, wi, bi, self](Tape* t) {
+    AffineBackwardFromDpre(
+        t, xi, wi, bi,
+        DpreFromOutput<Act>(t, t->grad(self), t->value(self)));
+  });
+}
+
+}  // namespace
+
+Var AffineAct(Var x, Var w, Var b, ActKind act) {
+  return DispatchAct(act, [&](auto policy) {
+    return AffineActImpl<decltype(policy)>(x, w, b);
+  });
+}
+
+namespace {
+
+/// Tape/shape contract shared by the fused batch-norm ops; returns the
+/// common tape.
+Tape* CheckAffineBnShapes(Var x, Var w, Var b, Var gamma, Var beta) {
+  Tape* t = SameTape(x, w);
+  SameTape(w, b);
+  SameTape(b, gamma);
+  SameTape(gamma, beta);
+  SBRL_CHECK_EQ(x.cols(), w.rows());
+  SBRL_CHECK_EQ(b.rows(), 1);
+  SBRL_CHECK_EQ(b.cols(), w.cols());
+  SBRL_CHECK(gamma.rows() == 1 && gamma.cols() == w.cols());
+  SBRL_CHECK(beta.rows() == 1 && beta.cols() == w.cols());
+  return t;
+}
+
+/// dgamma / dbeta column sums of a fused batch-norm backward,
+/// accumulated in ascending row order (g2 = dL/d(gamma*xhat + beta)).
+void BnGammaBetaSums(const Matrix& g2, const Matrix& xhat, Matrix* dgamma,
+                     Matrix* dbeta) {
+  const int64_t n = g2.rows(), m = g2.cols();
+  *dgamma = Matrix(1, m);
+  *dbeta = Matrix(1, m);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < m; ++c) {
+      (*dgamma)(0, c) += g2(r, c) * xhat(r, c);
+      (*dbeta)(0, c) += g2(r, c);
+    }
+  }
+}
+
+/// Shared tail of both fused batch-norm backwards: emits the
+/// gamma/beta gradients, runs the affine tail on `dpre`, and recycles
+/// the closure-held buffers. Consumes every matrix argument.
+void FinishBnBackward(Tape* t, int xi, int wi, int bi, int gi, int ti,
+                      Matrix&& dgamma, Matrix&& dbeta, Matrix&& dpre,
+                      Matrix&& xhat, Matrix&& inv_std) {
+  t->AccumulateGrad(gi, std::move(dgamma));
+  t->AccumulateGrad(ti, std::move(dbeta));
+  AffineBackwardFromDpre(t, xi, wi, bi, std::move(dpre));
+  t->Recycle(std::move(xhat));
+  t->Recycle(std::move(inv_std));
+}
+
+/// AffineBatchNormAct body, templated on the activation policy.
+template <typename Act>
+Var AffineBatchNormActImpl(Var x, Var w, Var b, Var gamma, Var beta,
+                           double eps, Matrix* batch_mean,
+                           Matrix* batch_var) {
+  Tape* t = CheckAffineBnShapes(x, w, b, gamma, beta);
+  SBRL_CHECK(batch_mean != nullptr && batch_var != nullptr);
+  SBRL_CHECK_GT(x.rows(), 1) << "batch norm needs more than one sample";
+  const Matrix& xv = x.value();
+  const Matrix& wv = w.value();
+  const int64_t n = xv.rows(), m = wv.cols();
+
+  Matrix pre = AffineForwardInto(t, xv, wv, b.value());
+  // Batch statistics, accumulated in ascending row order — the same
+  // left-fold the reference ColSum performs, so mu / var are bitwise
+  // identical to the ops::ColMean composition.
+  const double inv_n = 1.0 / static_cast<double>(n);
+  Matrix mu(1, m);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < m; ++c) mu(0, c) += pre(r, c);
+  }
+  for (int64_t c = 0; c < m; ++c) mu(0, c) = inv_n * mu(0, c);
+  // centered = pre + (-mu), written into the xhat buffer.
+  Matrix xhat = t->NewZero(n, m);
+  {
+    double* hd = xhat.data();
+    const double* pd = pre.data();
+    const double* md = mu.data();
+    RowwiseFor(n, m, [hd, pd, md, m](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t c = 0; c < m; ++c) {
+          hd[r * m + c] = pd[r * m + c] + -1.0 * md[c];
+        }
+      }
+    });
+  }
+  Matrix var(1, m);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < m; ++c) {
+      var(0, c) += xhat(r, c) * xhat(r, c);
+    }
+  }
+  for (int64_t c = 0; c < m; ++c) var(0, c) = inv_n * var(0, c);
+  Matrix inv_std = t->NewZero(1, m);
+  for (int64_t c = 0; c < m; ++c) {
+    inv_std(0, c) = 1.0 / std::sqrt(var(0, c) + eps);
+  }
+  // xhat = centered * inv_std; out = act(xhat * gamma + beta) reuses
+  // the pre buffer — the pre-activation is consumed, never recorded.
+  {
+    double* hd = xhat.data();
+    double* od = pre.data();
+    const double* sd = inv_std.data();
+    const double* gd = gamma.value().data();
+    const double* bd = beta.value().data();
+    RowwiseFor(n, m, [hd, od, sd, gd, bd, m](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t c = 0; c < m; ++c) {
+          const double h = hd[r * m + c] * sd[c];
+          hd[r * m + c] = h;
+          od[r * m + c] = Act::F(h * gd[c] + bd[c]);
+        }
+      }
+    });
+  }
+  *batch_mean = std::move(mu);
+  *batch_var = std::move(var);
+
+  const int xi = x.id(), wi = w.id(), bi = b.id();
+  const int gi = gamma.id(), ti = beta.id();
+  const int self = t->size();
+  return t->MakeNode(
+      std::move(pre), {x, w, b, gamma, beta},
+      [xi, wi, bi, gi, ti, self, xhat = std::move(xhat),
+       inv_std = std::move(inv_std)](Tape* t) mutable {
+        const Matrix& g = t->grad(self);
+        const Matrix& yv = t->value(self);
+        const Matrix& gv = t->value(gi);
+        const int64_t n = yv.rows(), m = yv.cols();
+        const double inv_n = 1.0 / static_cast<double>(n);
+        // g2 = dL/d(gamma * xhat + beta), reconstructed from the
+        // output; the buffer is reused in place for dpre below.
+        Matrix tmp = DpreFromOutput<Act>(t, g, yv);
+        Matrix dgamma, dbeta;
+        BnGammaBetaSums(tmp, xhat, &dgamma, &dbeta);
+        // Closed-form batch-norm gradient: with dxhat = g2 * gamma,
+        //   dpre = inv_std * (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+        // where the column means reuse the dgamma / dbeta sums.
+        {
+          double* td = tmp.data();
+          const double* hd = xhat.data();
+          const double* sd = inv_std.data();
+          const double* gmd = gv.data();
+          const double* dgd = dgamma.data();
+          const double* dbd = dbeta.data();
+          RowwiseFor(n, m,
+                     [td, hd, sd, gmd, dgd, dbd, m, inv_n](int64_t r0,
+                                                           int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              for (int64_t c = 0; c < m; ++c) {
+                const int64_t i = r * m + c;
+                td[i] = sd[c] * (gmd[c] * td[i] - inv_n * gmd[c] * dbd[c] -
+                                 hd[i] * inv_n * gmd[c] * dgd[c]);
+              }
+            }
+          });
+        }
+        FinishBnBackward(t, xi, wi, bi, gi, ti, std::move(dgamma),
+                         std::move(dbeta), std::move(tmp), std::move(xhat),
+                         std::move(inv_std));
+      });
+}
+
+/// AffineBatchNormInferAct body, templated on the activation policy.
+template <typename Act>
+Var AffineBatchNormInferActImpl(Var x, Var w, Var b, Var gamma, Var beta,
+                                const Matrix& running_mean,
+                                const Matrix& running_var, double eps) {
+  Tape* t = CheckAffineBnShapes(x, w, b, gamma, beta);
+  SBRL_CHECK(running_mean.rows() == 1 && running_mean.cols() == w.cols());
+  SBRL_CHECK(running_var.same_shape(running_mean));
+  const Matrix& xv = x.value();
+  const Matrix& wv = w.value();
+  const int64_t n = xv.rows(), m = wv.cols();
+
+  Matrix pre = AffineForwardInto(t, xv, wv, b.value());
+  Matrix inv_std = t->NewZero(1, m);
+  for (int64_t c = 0; c < m; ++c) {
+    inv_std(0, c) = 1.0 / std::sqrt(running_var(0, c) + eps);
+  }
+  Matrix xhat = t->NewZero(n, m);
+  {
+    double* hd = xhat.data();
+    double* od = pre.data();
+    const double* md = running_mean.data();
+    const double* sd = inv_std.data();
+    const double* gd = gamma.value().data();
+    const double* bd = beta.value().data();
+    RowwiseFor(n, m, [hd, od, md, sd, gd, bd, m](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t c = 0; c < m; ++c) {
+          const int64_t i = r * m + c;
+          const double h = (od[i] + -1.0 * md[c]) * sd[c];
+          hd[i] = h;
+          od[i] = Act::F(h * gd[c] + bd[c]);
+        }
+      }
+    });
+  }
+  const int xi = x.id(), wi = w.id(), bi = b.id();
+  const int gi = gamma.id(), ti = beta.id();
+  const int self = t->size();
+  return t->MakeNode(
+      std::move(pre), {x, w, b, gamma, beta},
+      [xi, wi, bi, gi, ti, self, xhat = std::move(xhat),
+       inv_std = std::move(inv_std)](Tape* t) mutable {
+        const Matrix& g = t->grad(self);
+        const Matrix& yv = t->value(self);
+        const Matrix& gv = t->value(gi);
+        const int64_t n = yv.rows(), m = yv.cols();
+        // g2 = dL/d(gamma * xhat + beta), reconstructed from the
+        // output; the buffer is reused in place for dpre below.
+        Matrix tmp = DpreFromOutput<Act>(t, g, yv);
+        Matrix dgamma, dbeta;
+        BnGammaBetaSums(tmp, xhat, &dgamma, &dbeta);
+        // Frozen statistics: dpre is a plain per-column rescale.
+        {
+          double* td = tmp.data();
+          const double* sd = inv_std.data();
+          const double* gmd = gv.data();
+          RowwiseFor(n, m, [td, sd, gmd, m](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              for (int64_t c = 0; c < m; ++c) {
+                td[r * m + c] = td[r * m + c] * gmd[c] * sd[c];
+              }
+            }
+          });
+        }
+        FinishBnBackward(t, xi, wi, bi, gi, ti, std::move(dgamma),
+                         std::move(dbeta), std::move(tmp), std::move(xhat),
+                         std::move(inv_std));
+      });
+}
+
+}  // namespace
+
+Var AffineBatchNormAct(Var x, Var w, Var b, Var gamma, Var beta, double eps,
+                       ActKind act, Matrix* batch_mean, Matrix* batch_var) {
+  return DispatchAct(act, [&](auto policy) {
+    return AffineBatchNormActImpl<decltype(policy)>(x, w, b, gamma, beta,
+                                                    eps, batch_mean,
+                                                    batch_var);
+  });
+}
+
+Var AffineBatchNormInferAct(Var x, Var w, Var b, Var gamma, Var beta,
+                            const Matrix& running_mean,
+                            const Matrix& running_var, double eps,
+                            ActKind act) {
+  return DispatchAct(act, [&](auto policy) {
+    return AffineBatchNormInferActImpl<decltype(policy)>(
+        x, w, b, gamma, beta, running_mean, running_var, eps);
+  });
+}
+
+Var MatmulTransACols(Var a, int64_t a_start, int64_t a_cols, Var b,
+                     int64_t b_start, int64_t b_cols) {
+  Tape* t = SameTape(a, b);
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  SBRL_CHECK(a_start >= 0 && a_cols >= 1 && a_start + a_cols <= a.cols());
+  SBRL_CHECK(b_start >= 0 && b_cols >= 1 && b_start + b_cols <= b.cols());
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  const int64_t p = av.rows();
+  const int64_t a_stride = av.cols(), b_stride = bv.cols();
+  Matrix out = t->NewZero(a_cols, b_cols);
+  {
+    const double* ad = av.data();
+    const double* bd = bv.data();
+    double* od = out.data();
+    // Ascending-row accumulation per output element: bitwise identical
+    // to MatmulTransA on copied column slices.
+    for (int64_t r = 0; r < p; ++r) {
+      const double* arow = ad + r * a_stride + a_start;
+      const double* brow = bd + r * b_stride + b_start;
+      for (int64_t i = 0; i < a_cols; ++i) {
+        const double a_ri = arow[i];
+        double* orow = od + i * b_cols;
+        for (int64_t j = 0; j < b_cols; ++j) orow[j] += a_ri * brow[j];
+      }
+    }
+  }
+  const int ai = a.id(), bi = b.id(), self = t->size();
+  return t->MakeNode(std::move(out), {a, b},
+                     [ai, bi, self, a_start, a_cols, b_start,
+                      b_cols](Tape* t) {
+    const Matrix& g = t->grad(self);  // (a_cols x b_cols)
+    const Matrix& av = t->value(ai);
+    const Matrix& bv = t->value(bi);
+    const int64_t p = av.rows();
+    const int64_t a_stride = av.cols(), b_stride = bv.cols();
+    if (t->requires_grad(ai)) {
+      // da[:, a_window] = b[:, b_window] * g^T, window-sized only.
+      Matrix da = t->NewZero(p, a_cols);
+      for (int64_t r = 0; r < p; ++r) {
+        const double* brow = bv.data() + r * b_stride + b_start;
+        for (int64_t i = 0; i < a_cols; ++i) {
+          double acc = 0.0;
+          for (int64_t j = 0; j < b_cols; ++j) acc += brow[j] * g(i, j);
+          da(r, i) = acc;
+        }
+      }
+      t->AccumulateGradCols(ai, a_start, std::move(da));
+    }
+    if (t->requires_grad(bi)) {
+      // db[:, b_window] = a[:, a_window] * g, window-sized only.
+      Matrix db = t->NewZero(p, b_cols);
+      for (int64_t r = 0; r < p; ++r) {
+        const double* arow = av.data() + r * a_stride + a_start;
+        for (int64_t j = 0; j < b_cols; ++j) {
+          double acc = 0.0;
+          for (int64_t i = 0; i < a_cols; ++i) acc += arow[i] * g(i, j);
+          db(r, j) = acc;
+        }
+      }
+      t->AccumulateGradCols(bi, b_start, std::move(db));
     }
   });
 }

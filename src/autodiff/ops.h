@@ -14,6 +14,19 @@ namespace sbrl {
 /// introduced them, not deep inside Backward.
 namespace ops {
 
+/// Activations the fused network-step ops can apply in-pass. Every
+/// member's derivative is a function of the POST-activation value alone
+/// (elu' = y > 0 ? 1 : y + 1, relu' = y > 0, tanh' = 1 - y^2,
+/// sigmoid' = y (1 - y)), which is what lets the fused ops drop the
+/// pre-activation entirely instead of keeping it alive as a tape node.
+enum class ActKind {
+  kIdentity,  ///< no nonlinearity (linear output layers)
+  kElu,       ///< alpha = 1 exponential linear unit (paper default)
+  kRelu,
+  kTanh,
+  kSigmoid,
+};
+
 // ---------------------------------------------------------------------------
 // Binary elementwise (shapes must match exactly).
 // ---------------------------------------------------------------------------
@@ -78,6 +91,14 @@ Var ConcatCols(Var a, Var b);
 /// out.row(i) = (t[i] == 1 ? a.row(i) : b.row(i)). Used to assemble the
 /// factual head activations Z_p from the two potential-outcome heads.
 Var SelectRowsByTreatment(Var a, Var b, const std::vector<int>& t);
+/// Inverse assembly of SelectRowsByTreatment for arm-split inputs:
+/// `a` holds the rows of the treated units (t[i] == 1) in ascending
+/// original-row order, `b` the control rows likewise;
+/// out.row(i) = the next row of `a` or `b` according to t[i]. Backward
+/// splits the gradient back onto the arms. This is how the fused
+/// network step reassembles full-batch tensors after running each
+/// outcome head on its own arm only (see OutcomeHeads::Forward).
+Var ScatterRowsByTreatment(Var a, Var b, const std::vector<int>& t);
 /// Copy of columns [start, start + count) of `a`.
 Var SliceCols(Var a, int64_t start, int64_t count);
 
@@ -108,12 +129,64 @@ Var Matmul(Var a, Var b);
 /// Matmul + AddRow pair on the hottest path of every forward pass.
 Var Affine(Var x, Var w, Var b);
 
+/// Fused network-step op: act(x W + b) in ONE tape node. Forward runs
+/// the matmul, bias add, and activation in a single pass; backward
+/// reconstructs the activation derivative from the stored OUTPUT (see
+/// ActKind), builds d(pre-activation) in one pooled temporary, and
+/// emits dx / dW / db directly — the pre-activation never exists as a
+/// tape node. Values and gradients are bitwise identical to the
+/// reference composition ApplyActivation(Affine(x, w, b)): the same
+/// kernels accumulate in the same order, only the node count changes.
+/// dx is skipped when `x` is a constant (first-layer input).
+Var AffineAct(Var x, Var w, Var b, ActKind act);
+
+/// Fused training-mode Dense -> BatchNorm -> activation chain in ONE
+/// tape node: act(gamma .* xhat + beta) with
+/// xhat = (x W + b - mu) / sqrt(var + eps) and mu / var the batch
+/// column statistics of the pre-activation. The batch statistics are
+/// written to `*batch_mean` / `*batch_var` (biased, matching the
+/// reference ops::ColMean composition) so the caller can update its
+/// running estimates exactly as the unfused path does. Forward values
+/// are bitwise identical to the reference composition
+/// (Affine -> ColMean/Square/Sqrt/Reciprocal/MulRow/AddRow ->
+/// activation); the backward applies the standard closed-form
+/// batch-norm gradient, which regroups the same sums, so gradients
+/// agree with the reference chain to rounding error (grad-checked in
+/// tests/autodiff_test.cc). The normalized activations and inverse
+/// stddev live in pooled buffers owned by the node's backward closure
+/// and are recycled after the backward pass.
+Var AffineBatchNormAct(Var x, Var w, Var b, Var gamma, Var beta, double eps,
+                       ActKind act, Matrix* batch_mean, Matrix* batch_var);
+
+/// Inference-mode companion of AffineBatchNormAct: normalizes the
+/// affine output with the FROZEN `running_mean` / `running_var`
+/// constants instead of batch statistics, still one tape node:
+/// act(gamma .* (x W + b - mean) / sqrt(var + eps) + beta). Gradients
+/// flow to x, w, b, gamma, and beta (the running statistics are not
+/// differentiated, mirroring the reference path's Constant nodes).
+Var AffineBatchNormInferAct(Var x, Var w, Var b, Var gamma, Var beta,
+                            const Matrix& running_mean,
+                            const Matrix& running_var, double eps,
+                            ActKind act);
+
 /// a^T * b where a is (p x q) and b is (p x r) -> (q x r), without
 /// materializing a^T. Numerically identical to
 /// Matmul(Transpose(a), b) — forward and backward accumulate in the
 /// same order — but skips the transpose node and its buffer. Hot in the
 /// HSIC-RFF weight loss, which builds weighted cross-covariances.
 Var MatmulTransA(Var a, Var b);
+
+/// Column-window view product: a[:, a_start : a_start + a_cols]^T *
+/// b[:, b_start : b_start + b_cols] -> (a_cols x b_cols), reading both
+/// operands in place — neither slice is ever materialized, as a tape
+/// node or otherwise. Each output element accumulates its row terms in
+/// ascending order, so the result is bitwise identical to MatmulTransA
+/// on copied slices. Backward pushes window-sized contributions through
+/// Tape::AccumulateGradCols. This is what lets the exact-mode HSIC
+/// pair loop share ONE stacked feature constant across every pair
+/// instead of allocating two (n x k) constants per pair.
+Var MatmulTransACols(Var a, int64_t a_start, int64_t a_cols, Var b,
+                     int64_t b_start, int64_t b_cols);
 
 /// Batched HSIC pair cross-products: `a` and `b` are (n x d*block)
 /// stacks of d per-feature column blocks. The result stacks, for each

@@ -161,9 +161,33 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
   if (job->error) std::rethrow_exception(job->error);
 }
 
+namespace {
+
+/// The process-wide pool; swapped (and the old pool joined) only by
+/// ResetGlobalForTest from a quiescent thread.
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+
+}  // namespace
+
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool = new ThreadPool(EnvThreadCount() - 1);
-  return *pool;
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  static ThreadPool* env_pool = [] {
+    ThreadPool* fresh = new ThreadPool(EnvThreadCount() - 1);
+    ThreadPool* expected = nullptr;
+    g_global_pool.compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel);
+    return fresh;
+  }();
+  (void)env_pool;
+  return *g_global_pool.load(std::memory_order_acquire);
+}
+
+void ThreadPool::ResetGlobalForTest(int num_workers) {
+  Global();  // ensure first-use initialization has happened
+  ThreadPool* fresh = new ThreadPool(num_workers);
+  ThreadPool* old = g_global_pool.exchange(fresh, std::memory_order_acq_rel);
+  delete old;  // joins the previous workers
 }
 
 int ThreadPool::GlobalParallelism() { return Global().num_workers() + 1; }

@@ -56,6 +56,14 @@ class ThreadPool {
   /// Total parallel lanes of the global pool (workers + caller).
   static int GlobalParallelism();
 
+  /// TEST-ONLY: replaces the process-wide pool with one holding
+  /// `num_workers` background threads (joining the old pool's workers),
+  /// so a single test process can compare results across worker
+  /// counts — the golden-trace suite proves bitwise thread-count
+  /// invariance this way. Must not race an in-flight ParallelFor; call
+  /// only from a quiescent test main thread.
+  static void ResetGlobalForTest(int num_workers);
+
  private:
   struct Job;
 

@@ -81,9 +81,12 @@ class OutcomeHeads {
   };
 
   /// Forward through both heads; `t` selects each unit's factual head
-  /// when assembling z_p / hidden.
+  /// when assembling z_p / hidden. `mode` selects the fused or
+  /// reference network-step recording for the head bodies (see
+  /// NetStepMode in nn/net_step.h).
   Result Forward(ParamBinder& binder, Var rep, const std::vector<int>& t,
-                 bool training) const;
+                 bool training,
+                 NetStepMode mode = NetStepMode::kReference) const;
 
   /// Appends all trainable parameters of both heads to `*out`.
   void CollectParams(std::vector<Param*>* out);

@@ -131,6 +131,13 @@ struct SbrlConfig {
   /// neither mode reproduces the pre-PR-3 sequential-rng training
   /// trajectories — kExact pins down the evaluation, not history.
   CosineMode rff_cos_mode = CosineMode::kVectorized;
+  /// How the network step records the head forward/backward chain:
+  /// one fused tape node per layer (default) or the per-primitive
+  /// reference formulation. Mirrors hsic_mode / rff_cos_mode. Without
+  /// batch norm the two modes train bitwise identically; with batch
+  /// norm they agree to rounding error in the backward pass (see
+  /// NetStepMode in nn/net_step.h and tests/golden_trace_test.cc).
+  NetStepMode net_step_mode = NetStepMode::kFused;
   /// Memoize per-slot RFF projection draws across the HAP tiers of one
   /// weight step (they share the in_dim = 1, k = rff_features stream).
   /// Value-transparent: training is bitwise identical with the cache

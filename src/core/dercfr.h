@@ -57,6 +57,7 @@ class DerCfrBackbone : public Backbone {
  private:
   int64_t input_dim_;
   NetworkConfig network_;
+  NetStepMode net_step_mode_;
   DerCfrConfig config_;
   Mlp i_net_;
   Mlp c_net_;

@@ -10,29 +10,21 @@ namespace sbrl {
 
 namespace {
 
-/// Copy of columns [start, start + count) of `m` — feeds the exact
-/// reference path, which wants standalone (n x k) feature blocks.
-Matrix CopyColumnBlock(const Matrix& m, int64_t start, int64_t count) {
-  Matrix out(m.rows(), count);
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    for (int64_t c = 0; c < count; ++c) out(r, c) = m(r, start + c);
-  }
-  return out;
-}
-
-/// Weighted cross-covariance Frobenius norm between constant RFF
-/// feature blocks `u`, `v` (n x k each) under normalized weights built
-/// from the differentiable node `w`. The seed per-pair formulation,
-/// kept verbatim as the reference for BatchedHsicMode::kBatched.
-Var PairLoss(Tape* tape, const Matrix& u, const Matrix& v, Var w_norm) {
-  Var u_const = tape->Constant(tape->NewCopy(u));
-  Var v_const = tape->Constant(tape->NewCopy(v));
-  // E_w[u_i v_j] = (u .* w)^T v with w normalized to sum 1. The fused
-  // transpose-product op keeps the four a^T b products transpose-free.
-  Var uw = ops::MulCol(u_const, w_norm);
-  Var e_uv = ops::MatmulTransA(uw, v_const);        // (k x k)
-  Var e_u = ops::MatmulTransA(w_norm, u_const);     // (1 x k)
-  Var e_v = ops::MatmulTransA(w_norm, v_const);     // (1 x k)
+/// Weighted cross-covariance Frobenius norm between the column blocks
+/// [a*k, (a+1)*k) and [b*k, (b+1)*k) of the stacked feature constant
+/// `f_const`, read in place through slice-view ops. `fw` is the
+/// row-weighted stack MulCol(f_const, w_norm), built once and shared
+/// by every pair — the per-pair math is the seed formulation
+/// E_w[u^T v] - E_w[u]^T E_w[v], kept as the reference for
+/// BatchedHsicMode::kBatched, but no per-pair feature block is ever
+/// materialized (as a tape constant or otherwise).
+Var PairLoss(Var f_const, Var fw, Var w_norm, int64_t a, int64_t b,
+             int64_t k) {
+  // E_w[u_i v_j] = (u .* w)^T v with w normalized to sum 1; the view
+  // op keeps the three a^T b products transpose- and slice-free.
+  Var e_uv = ops::MatmulTransACols(fw, a * k, k, f_const, b * k, k);
+  Var e_u = ops::MatmulTransACols(w_norm, 0, 1, f_const, a * k, k);
+  Var e_v = ops::MatmulTransACols(w_norm, 0, 1, f_const, b * k, k);
   Var outer = ops::MatmulTransA(e_u, e_v);          // (k x k)
   return ops::SumAll(ops::Square(ops::Sub(e_uv, outer)));
 }
@@ -99,12 +91,17 @@ Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
                                    cos_mode);
   }
 
+  // Both modes share ONE stacked-feature constant; no other n-row node
+  // scales with the pair count (asserted by hsic_batched_test).
+  Var f_const = tape->Constant(std::move(stacked));
+
   if (mode == BatchedHsicMode::kExact) {
+    // Per-pair reference formulation over slice views of f_const: the
+    // only per-pair tape nodes are the (k x k) / (1 x k) op outputs.
+    Var fw = ops::MulCol(f_const, w_norm);
     Var loss = tape->Constant(Matrix::Zeros(1, 1));
     for (const auto& [a, b] : block_pairs) {
-      loss = ops::Add(loss, PairLoss(tape, CopyColumnBlock(stacked, a * k, k),
-                                     CopyColumnBlock(stacked, b * k, k),
-                                     w_norm));
+      loss = ops::Add(loss, PairLoss(f_const, fw, w_norm, a, b, k));
     }
     // Rescale a sampled subset to estimate the full pairwise sum.
     return ops::Scale(loss, sel.Rescale());
@@ -114,7 +111,6 @@ Var HsicRffDecorrelationLoss(const Matrix& z, Var w, int64_t rff_features,
   // selected pairs land in two kernel dispatches — one fused
   // weighted block cross-product over every pair and one means product
   // — instead of O(pairs) sub-64K-flop tape ops.
-  Var f_const = tape->Constant(std::move(stacked));
   Var cross = ops::BlockWeightedCrossCov(f_const, w_norm, k, block_pairs);
   Var means = ops::MatmulTransA(w_norm, f_const);  // 1 x n_used*k
   Var loss = ops::PairHsicFrobenius(cross, means, k, block_pairs);

@@ -22,6 +22,7 @@ TarnetBackbone::TarnetBackbone(const EstimatorConfig& config,
                                int64_t input_dim, Rng& rng, double alpha_ipm)
     : input_dim_(input_dim),
       network_(config.network),
+      net_step_mode_(config.sbrl.net_step_mode),
       alpha_ipm_(alpha_ipm),
       ipm_kind_(config.cfr.ipm),
       rbf_bandwidth_(config.cfr.rbf_bandwidth),
@@ -34,12 +35,13 @@ BackboneForward TarnetBackbone::Forward(ParamBinder& binder, const Matrix& x,
   SBRL_CHECK_EQ(x.cols(), input_dim_);
   Tape* tape = binder.tape();
   Var input = tape->Constant(x);
-  std::vector<Var> rep_layers = rep_net_.ForwardCollect(binder, input,
-                                                        training);
+  std::vector<Var> rep_layers =
+      rep_net_.ForwardCollect(binder, input, training, net_step_mode_);
   Var rep = rep_layers.back();
   if (network_.rep_normalization) rep = ops::NormalizeRows(rep);
 
-  OutcomeHeads::Result heads = heads_.Forward(binder, rep, t, training);
+  OutcomeHeads::Result heads =
+      heads_.Forward(binder, rep, t, training, net_step_mode_);
 
   BackboneForward out;
   out.y0 = heads.y0;

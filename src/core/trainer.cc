@@ -96,6 +96,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
 
   for (int64_t iter = 0; iter < config_.train.iterations; ++iter) {
     // ----- Step A (Algorithm 1 lines 4-5): network parameters. -----
+    Timer net_timer;
     double weight_loss_value = 0.0;
     Matrix w_norm = weights.NormalizedToMeanOne();
     Tape tape(&tape_pool_);
@@ -112,6 +113,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
     const double lr = schedule.LearningRate(iter);
     opt_decay.Step(lr);
     opt_plain.Step(lr);
+    diag->net_step_seconds += net_timer.ElapsedSeconds();
 
     // ----- Step B (Algorithm 1 lines 6-7): sample weights. -----
     if (learn_weights && iter % config_.sbrl.weight_update_every == 0) {

@@ -31,6 +31,13 @@ struct TrainDiagnostics {
   /// weight_step_seconds / train_seconds; BENCH_table6.json records
   /// both so the batched-HSIC win is tracked across PRs.
   double weight_step_seconds = 0.0;
+  /// Wall-clock seconds of `train_seconds` spent inside the network
+  /// step (Algorithm 1 step A: recording the head forward chain,
+  /// differentiating the weighted factual loss, and applying the Adam
+  /// updates). The share the fused network-step engine targets
+  /// (SbrlConfig::net_step_mode); BENCH_table6.json records it as
+  /// `<method>/net_step` so the fusion win is tracked across PRs.
+  double net_step_seconds = 0.0;
   /// Wall-clock seconds of `train_seconds` spent inside the RFF cosine
   /// sweeps (the sqrt(2) cos epilogue of every decorrelation-loss
   /// feature evaluation) — the delta of CosSweepSecondsTotal() across

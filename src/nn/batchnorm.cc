@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/dense.h"
 #include "tensor/linalg.h"
 
 namespace sbrl {
@@ -41,6 +42,30 @@ Var BatchNorm::Forward(ParamBinder& binder, Var x, bool training) const {
   Var centered = ops::AddRow(x, mu);
   Var normalized = ops::MulRow(centered, t->Constant(inv_std));
   return ops::AddRow(ops::MulRow(normalized, gamma), beta);
+}
+
+Var BatchNorm::ForwardFusedAffine(ParamBinder& binder, const Dense& dense,
+                                  Var x, bool training,
+                                  Activation act) const {
+  SBRL_CHECK_EQ(dense.out_dim(), dim());
+  Var w, b;
+  dense.BindParams(binder, &w, &b);
+  Var gamma = binder.Bind(gamma_);
+  Var beta = binder.Bind(beta_);
+  if (!training) {
+    return ops::AffineBatchNormInferAct(x, w, b, gamma, beta, running_mean_,
+                                        running_var_, eps_,
+                                        ToActKind(act));
+  }
+  Matrix batch_mean, batch_var;
+  Var out = ops::AffineBatchNormAct(x, w, b, gamma, beta, eps_,
+                                    ToActKind(act), &batch_mean, &batch_var);
+  // Same running-statistics update as the unfused path: the fused op
+  // reports batch mean / biased variance bitwise equal to ColMean's.
+  running_mean_ =
+      running_mean_ * momentum_ + batch_mean * (1.0 - momentum_);
+  running_var_ = running_var_ * momentum_ + batch_var * (1.0 - momentum_);
+  return out;
 }
 
 void BatchNorm::CollectParams(std::vector<Param*>* out) {

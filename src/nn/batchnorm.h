@@ -5,9 +5,12 @@
 #include <vector>
 
 #include "autodiff/ops.h"
+#include "nn/net_step.h"
 #include "nn/parameter.h"
 
 namespace sbrl {
+
+class Dense;
 
 /// Batch normalization over the row (sample) dimension with learned
 /// scale/shift. Training mode normalizes by batch statistics and updates
@@ -22,6 +25,15 @@ class BatchNorm {
 
   /// Records the normalization on the binder's tape.
   Var Forward(ParamBinder& binder, Var x, bool training) const;
+
+  /// Fused BatchNorm-into-affine layer step: records
+  /// act(batchnorm(dense(x))) as ONE tape node
+  /// (ops::AffineBatchNormAct in training, the frozen-statistics
+  /// companion at inference) and applies the same running-statistics
+  /// update the unfused path performs. `dense` supplies the affine
+  /// parameters; its output width must equal dim().
+  Var ForwardFusedAffine(ParamBinder& binder, const Dense& dense, Var x,
+                         bool training, Activation act) const;
 
   void CollectParams(std::vector<Param*>* out);
 

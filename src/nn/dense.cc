@@ -15,6 +15,24 @@ Var Dense::Forward(ParamBinder& binder, Var x) const {
   return ops::Affine(x, w, b);
 }
 
+Var Dense::ForwardAct(ParamBinder& binder, Var x, Activation act,
+                      NetStepMode mode) const {
+  if (mode == NetStepMode::kReference) {
+    return ApplyActivation(Forward(binder, x), act);
+  }
+  SBRL_CHECK_EQ(x.cols(), in_dim())
+      << "Dense '" << weight_.name << "' expects input dim " << in_dim();
+  Var w = binder.Bind(weight_);
+  Var b = binder.Bind(bias_);
+  return ops::AffineAct(x, w, b, ToActKind(act));
+}
+
+void Dense::BindParams(ParamBinder& binder, Var* w, Var* b) const {
+  SBRL_CHECK(w != nullptr && b != nullptr);
+  *w = binder.Bind(weight_);
+  *b = binder.Bind(bias_);
+}
+
 void Dense::CollectParams(std::vector<Param*>* out) {
   out->push_back(&weight_);
   out->push_back(&bias_);

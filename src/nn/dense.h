@@ -6,6 +6,7 @@
 
 #include "autodiff/ops.h"
 #include "nn/initializer.h"
+#include "nn/net_step.h"
 #include "nn/parameter.h"
 
 namespace sbrl {
@@ -21,6 +22,19 @@ class Dense {
 
   /// Records x W + b on the binder's tape.
   Var Forward(ParamBinder& binder, Var x) const;
+
+  /// Records act(x W + b): one fused ops::AffineAct node under
+  /// NetStepMode::kFused, the Affine + activation pair under
+  /// kReference. The layer step of the fused network-step engine (see
+  /// nn/net_step.h); Mlp routes every non-batch-norm layer through it.
+  Var ForwardAct(ParamBinder& binder, Var x, Activation act,
+                 NetStepMode mode) const;
+
+  /// Binds this layer's parameters on the binder's tape (`*w` = weight,
+  /// `*b` = bias) without recording any computation — the hook the
+  /// fused BatchNorm-into-affine path uses to consume the affine inside
+  /// its own node.
+  void BindParams(ParamBinder& binder, Var* w, Var* b) const;
 
   /// Appends this layer's Params (W then b) to `out`.
   void CollectParams(std::vector<Param*>* out);

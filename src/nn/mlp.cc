@@ -2,18 +2,6 @@
 
 namespace sbrl {
 
-Var ApplyActivation(Var x, Activation act) {
-  switch (act) {
-    case Activation::kElu: return ops::Elu(x);
-    case Activation::kRelu: return ops::Relu(x);
-    case Activation::kTanh: return ops::Tanh(x);
-    case Activation::kSigmoid: return ops::Sigmoid(x);
-    case Activation::kLinear: return x;
-  }
-  SBRL_CHECK(false) << "unreachable";
-  return x;
-}
-
 Mlp::Mlp(const std::string& name, const MlpConfig& config, Rng& rng)
     : config_(config) {
   SBRL_CHECK_GT(config.input_dim, 0);
@@ -31,22 +19,32 @@ Mlp::Mlp(const std::string& name, const MlpConfig& config, Rng& rng)
 }
 
 std::vector<Var> Mlp::ForwardCollect(ParamBinder& binder, Var x,
-                                     bool training) const {
+                                     bool training, NetStepMode mode) const {
   std::vector<Var> outputs;
   outputs.reserve(layers_.size());
   Var h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(binder, h);
-    if (config_.batchnorm) h = norms_[i].Forward(binder, h, training);
-    h = ApplyActivation(h, config_.activation);
+    if (config_.batchnorm) {
+      if (mode == NetStepMode::kFused) {
+        h = norms_[i].ForwardFusedAffine(binder, layers_[i], h, training,
+                                         config_.activation);
+      } else {
+        h = layers_[i].Forward(binder, h);
+        h = norms_[i].Forward(binder, h, training);
+        h = ApplyActivation(h, config_.activation);
+      }
+    } else {
+      h = layers_[i].ForwardAct(binder, h, config_.activation, mode);
+    }
     outputs.push_back(h);
   }
   if (outputs.empty()) outputs.push_back(x);  // degenerate identity MLP
   return outputs;
 }
 
-Var Mlp::Forward(ParamBinder& binder, Var x, bool training) const {
-  return ForwardCollect(binder, x, training).back();
+Var Mlp::Forward(ParamBinder& binder, Var x, bool training,
+                 NetStepMode mode) const {
+  return ForwardCollect(binder, x, training, mode).back();
 }
 
 void Mlp::CollectParams(std::vector<Param*>* out) {

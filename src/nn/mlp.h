@@ -6,15 +6,9 @@
 
 #include "nn/batchnorm.h"
 #include "nn/dense.h"
+#include "nn/net_step.h"
 
 namespace sbrl {
-
-/// Activation functions available to MLP layers. The paper trains all
-/// networks with ELU.
-enum class Activation { kElu, kRelu, kTanh, kSigmoid, kLinear };
-
-/// Applies `act` to `x` on the tape.
-Var ApplyActivation(Var x, Activation act);
 
 /// Configuration of a multi-layer perceptron.
 struct MlpConfig {
@@ -37,12 +31,17 @@ class Mlp {
   Mlp(const std::string& name, const MlpConfig& config, Rng& rng);
 
   /// Runs the full stack, returning every post-activation layer output
-  /// in order; back() is the network output.
-  std::vector<Var> ForwardCollect(ParamBinder& binder, Var x,
-                                  bool training) const;
+  /// in order; back() is the network output. `mode` selects how each
+  /// layer is recorded: NetStepMode::kFused collapses every
+  /// Dense (+BatchNorm) + activation chain into one fused tape node,
+  /// kReference (the default) keeps the per-primitive formulation.
+  std::vector<Var> ForwardCollect(
+      ParamBinder& binder, Var x, bool training,
+      NetStepMode mode = NetStepMode::kReference) const;
 
   /// Runs the full stack, returning only the final output.
-  Var Forward(ParamBinder& binder, Var x, bool training) const;
+  Var Forward(ParamBinder& binder, Var x, bool training,
+              NetStepMode mode = NetStepMode::kReference) const;
 
   void CollectParams(std::vector<Param*>* out);
 
@@ -52,6 +51,8 @@ class Mlp {
                                   : config_.hidden.back();
   }
   int num_layers() const { return static_cast<int>(layers_.size()); }
+  /// True when a BatchNorm follows every affine layer.
+  bool batchnorm() const { return config_.batchnorm; }
 
   /// Access to individual layers (e.g. DeR-CFR binds first-layer
   /// weights for its feature-importance orthogonality penalty).

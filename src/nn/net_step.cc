@@ -1,0 +1,37 @@
+#include "nn/net_step.h"
+
+namespace sbrl {
+
+const char* NetStepModeName(NetStepMode mode) {
+  switch (mode) {
+    case NetStepMode::kFused: return "fused";
+    case NetStepMode::kReference: return "reference";
+  }
+  return "?";
+}
+
+Var ApplyActivation(Var x, Activation act) {
+  switch (act) {
+    case Activation::kElu: return ops::Elu(x);
+    case Activation::kRelu: return ops::Relu(x);
+    case Activation::kTanh: return ops::Tanh(x);
+    case Activation::kSigmoid: return ops::Sigmoid(x);
+    case Activation::kLinear: return x;
+  }
+  SBRL_CHECK(false) << "unreachable";
+  return x;
+}
+
+ops::ActKind ToActKind(Activation act) {
+  switch (act) {
+    case Activation::kElu: return ops::ActKind::kElu;
+    case Activation::kRelu: return ops::ActKind::kRelu;
+    case Activation::kTanh: return ops::ActKind::kTanh;
+    case Activation::kSigmoid: return ops::ActKind::kSigmoid;
+    case Activation::kLinear: return ops::ActKind::kIdentity;
+  }
+  SBRL_CHECK(false) << "unreachable";
+  return ops::ActKind::kIdentity;
+}
+
+}  // namespace sbrl

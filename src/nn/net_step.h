@@ -1,0 +1,46 @@
+#ifndef SBRL_NN_NET_STEP_H_
+#define SBRL_NN_NET_STEP_H_
+
+#include "autodiff/ops.h"
+
+namespace sbrl {
+
+/// How the per-iteration network step records the head forward/backward
+/// chain (Dense -> optional BatchNorm -> activation) on the tape.
+/// Mirrors BatchedHsicMode / CosineMode: a fast production path plus a
+/// reference path selectable per call / per config.
+///
+/// kFused records each layer as ONE tape node (ops::AffineAct, or
+/// ops::AffineBatchNormAct when batch norm is on): the pre-activation
+/// is consumed in-pass instead of living on the tape, and the fused
+/// backward emits dx / dW / db from pooled temporaries. Without batch
+/// norm, values AND gradients are bitwise identical to kReference (the
+/// same kernels run in the same order); with batch norm, forward values
+/// are bitwise identical and the closed-form backward agrees with the
+/// reference chain to rounding error (see tests/golden_trace_test.cc).
+///
+/// kReference keeps the seed formulation — one tape node per primitive
+/// (Affine, ColMean, Sqrt, ..., activation) — as the formulation the
+/// golden-trace tests pin down. Both modes are bitwise invariant to the
+/// worker-thread count.
+enum class NetStepMode {
+  kFused,      ///< one fused tape node per layer (default)
+  kReference,  ///< per-primitive tape ops — the reference formulation
+};
+
+/// Human-readable NetStepMode name ("fused" / "reference").
+const char* NetStepModeName(NetStepMode mode);
+
+/// Activation functions available to MLP layers. The paper trains all
+/// networks with ELU.
+enum class Activation { kElu, kRelu, kTanh, kSigmoid, kLinear };
+
+/// Applies `act` to `x` on the tape (reference path: one UnaryOp node).
+Var ApplyActivation(Var x, Activation act);
+
+/// The fused-op activation tag corresponding to `act`.
+ops::ActKind ToActKind(Activation act);
+
+}  // namespace sbrl
+
+#endif  // SBRL_NN_NET_STEP_H_

@@ -421,6 +421,493 @@ TEST(GradCheckTest, DeepCompositeNetworkLikeGraph) {
       w1, 1e-5);
 }
 
+// ---------------------------------------------------------------------------
+// Audit fills (PR 4): ops that previously lacked direct grad coverage.
+// The block-diagonal HSIC ops (BlockMatmulTransA, BlockWeightedCrossCov,
+// PairHsicFrobenius) are grad-checked in tests/hsic_batched_test.cc.
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckTest, Relu) {
+  // Inputs bounded away from the kink at 0 so central differences are
+  // well defined.
+  Rng rng(43);
+  Matrix x = rng.Rand(3, 3, 0.2, 2.0);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (i % 2 == 0) x[i] = -x[i];
+  }
+  CheckGradient(
+      [](Tape&, Var v) { return ops::SumAll(ops::Square(ops::Relu(v))); }, x,
+      1e-5);
+}
+
+TEST(GradCheckTest, BroadcastOpsMatrixSide) {
+  // AddRow / AddCol / MulRow previously only checked the broadcast
+  // operand; differentiate the full matrix side here.
+  Rng rng(44);
+  Matrix x = rng.Randn(4, 3);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var row = t.Leaf(Rng(83).Randn(1, 3));
+        return ops::SumAll(ops::Square(ops::AddRow(v, row)));
+      },
+      x, 1e-5);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var col = t.Leaf(Rng(82).Randn(4, 1));
+        return ops::SumAll(ops::Square(ops::AddCol(v, col)));
+      },
+      x, 1e-5);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var row = t.Leaf(Rng(81).Randn(1, 3));
+        return ops::SumAll(ops::Square(ops::MulRow(v, row)));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, ScalarOpsMatrixSide) {
+  // MulScalar / DivScalar previously only differentiated the scalar.
+  Rng rng(45);
+  Matrix x = rng.Randn(3, 4);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var s = t.Leaf(Matrix::Constant(1, 1, 1.7));
+        return ops::SumAll(ops::Square(ops::MulScalar(v, s)));
+      },
+      x, 1e-5);
+  CheckGradient(
+      [](Tape& t, Var v) {
+        Var s = t.Leaf(Matrix::Constant(1, 1, 1.7));
+        return ops::SumAll(ops::Square(ops::DivScalar(v, s)));
+      },
+      x, 1e-5);
+}
+
+TEST(GradCheckTest, AffineAllArguments) {
+  Rng rng(46);
+  Matrix x0 = rng.Randn(5, 3);
+  Matrix w0 = Rng(80).Randn(3, 2);
+  Matrix b0 = Rng(79).Randn(1, 2);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return ops::SumAll(ops::Square(
+            ops::Affine(v, t.Leaf(w0), t.Leaf(b0))));
+      },
+      x0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return ops::SumAll(ops::Square(
+            ops::Affine(t.Leaf(x0), v, t.Leaf(b0))));
+      },
+      w0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return ops::SumAll(ops::Square(
+            ops::Affine(t.Leaf(x0), t.Leaf(w0), v)));
+      },
+      b0, 1e-4);
+}
+
+TEST(GradCheckTest, MatmulTransABothSidesAndForward) {
+  Rng rng(47);
+  Matrix a0 = rng.Randn(5, 3);
+  Matrix b0 = Rng(78).Randn(5, 2);
+  {
+    // Forward equals the transpose composition to strict tolerance.
+    Tape t;
+    Var fused = ops::MatmulTransA(t.Constant(a0), t.Constant(b0));
+    Var composed = ops::Matmul(ops::Transpose(t.Constant(a0)),
+                               t.Constant(b0));
+    EXPECT_TRUE(AllClose(fused.value(), composed.value(), 1e-12));
+  }
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return ops::SumAll(ops::Square(ops::MatmulTransA(v, t.Leaf(b0))));
+      },
+      a0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return ops::SumAll(ops::Square(ops::MatmulTransA(t.Leaf(a0), v)));
+      },
+      b0, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Fused network-step ops (PR 4): forward must reproduce the reference
+// composition to 1e-9 relative, backward must pass numerical grad
+// checks for every differentiable argument.
+// ---------------------------------------------------------------------------
+
+/// |a - b| <= tol * max(1, |a|) elementwise.
+void ExpectRelClose(const Matrix& a, const Matrix& b, double tol) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(b[i], a[i], tol * std::max(1.0, std::abs(a[i])))
+        << "element " << i;
+  }
+}
+
+const std::vector<ops::ActKind>& AllActKinds() {
+  static const std::vector<ops::ActKind> kinds = {
+      ops::ActKind::kIdentity, ops::ActKind::kElu, ops::ActKind::kRelu,
+      ops::ActKind::kTanh, ops::ActKind::kSigmoid};
+  return kinds;
+}
+
+/// Reference composition of AffineAct: Affine followed by the
+/// standalone activation op.
+Var ReferenceAffineAct(Var x, Var w, Var b, ops::ActKind act) {
+  Var pre = ops::Affine(x, w, b);
+  switch (act) {
+    case ops::ActKind::kIdentity: return pre;
+    case ops::ActKind::kElu: return ops::Elu(pre);
+    case ops::ActKind::kRelu: return ops::Relu(pre);
+    case ops::ActKind::kTanh: return ops::Tanh(pre);
+    case ops::ActKind::kSigmoid: return ops::Sigmoid(pre);
+  }
+  return pre;
+}
+
+TEST(FusedOpsTest, AffineActForwardMatchesReferenceBitwise) {
+  Rng rng(48);
+  Matrix x0 = rng.Randn(6, 4);
+  Matrix w0 = Rng(77).Randn(4, 3);
+  Matrix b0 = Rng(76).Randn(1, 3);
+  for (ops::ActKind act : AllActKinds()) {
+    SCOPED_TRACE(static_cast<int>(act));
+    Tape t;
+    Var fused = ops::AffineAct(t.Constant(x0), t.Constant(w0),
+                               t.Constant(b0), act);
+    Var reference = ReferenceAffineAct(t.Constant(x0), t.Constant(w0),
+                                       t.Constant(b0), act);
+    ASSERT_TRUE(fused.value().same_shape(reference.value()));
+    for (int64_t i = 0; i < fused.value().size(); ++i) {
+      EXPECT_EQ(fused.value()[i], reference.value()[i]) << "element " << i;
+    }
+  }
+}
+
+TEST(FusedOpsTest, AffineActGradsMatchReferenceBitwise) {
+  // The fused backward reconstructs the activation derivative from the
+  // output; for every ActKind this is the same double arithmetic the
+  // reference chain performs, so gradients match bit for bit.
+  Rng rng(49);
+  Matrix x0 = rng.Randn(6, 4);
+  Matrix w0 = Rng(75).Randn(4, 3);
+  Matrix b0 = Rng(74).Randn(1, 3);
+  for (ops::ActKind act : AllActKinds()) {
+    SCOPED_TRACE(static_cast<int>(act));
+    Tape t1;
+    Var x1 = t1.Leaf(x0), w1 = t1.Leaf(w0), b1 = t1.Leaf(b0);
+    t1.Backward(ops::SumAll(ops::Square(ops::AffineAct(x1, w1, b1, act))));
+    Tape t2;
+    Var x2 = t2.Leaf(x0), w2 = t2.Leaf(w0), b2 = t2.Leaf(b0);
+    t2.Backward(ops::SumAll(
+        ops::Square(ReferenceAffineAct(x2, w2, b2, act))));
+    for (int64_t i = 0; i < x0.size(); ++i) {
+      EXPECT_EQ(x1.grad()[i], x2.grad()[i]) << "dx element " << i;
+    }
+    for (int64_t i = 0; i < w0.size(); ++i) {
+      EXPECT_EQ(w1.grad()[i], w2.grad()[i]) << "dw element " << i;
+    }
+    for (int64_t i = 0; i < b0.size(); ++i) {
+      EXPECT_EQ(b1.grad()[i], b2.grad()[i]) << "db element " << i;
+    }
+  }
+}
+
+TEST(GradCheckTest, AffineActAllArguments) {
+  Rng rng(50);
+  Matrix x0 = rng.Randn(5, 3);
+  Matrix w0 = Rng(73).Randn(3, 2);
+  Matrix b0 = Rng(72).Randn(1, 2);
+  for (ops::ActKind act : AllActKinds()) {
+    SCOPED_TRACE(static_cast<int>(act));
+    CheckGradient(
+        [&](Tape& t, Var v) {
+          return ops::SumAll(ops::Square(
+              ops::AffineAct(v, t.Leaf(w0), t.Leaf(b0), act)));
+        },
+        x0, 1e-4);
+    CheckGradient(
+        [&](Tape& t, Var v) {
+          return ops::SumAll(ops::Square(
+              ops::AffineAct(t.Leaf(x0), v, t.Leaf(b0), act)));
+        },
+        w0, 1e-4);
+    CheckGradient(
+        [&](Tape& t, Var v) {
+          return ops::SumAll(ops::Square(
+              ops::AffineAct(t.Leaf(x0), t.Leaf(w0), v, act)));
+        },
+        b0, 1e-4);
+  }
+}
+
+/// Reference composition of the fused training-mode batch-norm chain:
+/// the exact op sequence BatchNorm::Forward + ApplyActivation record.
+Var ReferenceAffineBnAct(Tape& t, Var x, Var w, Var b, Var gamma, Var beta,
+                         double eps, ops::ActKind act) {
+  Var pre = ops::Affine(x, w, b);
+  Var mu = ops::ColMean(pre);
+  Var centered = ops::AddRow(pre, ops::Neg(mu));
+  Var var = ops::ColMean(ops::Square(centered));
+  Var inv_std = ops::Reciprocal(ops::Sqrt(ops::AddConst(var, eps)));
+  Var normalized = ops::MulRow(centered, inv_std);
+  Var h = ops::AddRow(ops::MulRow(normalized, gamma), beta);
+  (void)t;
+  switch (act) {
+    case ops::ActKind::kIdentity: return h;
+    case ops::ActKind::kElu: return ops::Elu(h);
+    case ops::ActKind::kRelu: return ops::Relu(h);
+    case ops::ActKind::kTanh: return ops::Tanh(h);
+    case ops::ActKind::kSigmoid: return ops::Sigmoid(h);
+  }
+  return h;
+}
+
+TEST(FusedOpsTest, AffineBatchNormActForwardMatchesReference) {
+  Rng rng(51);
+  const double eps = 1e-5;
+  Matrix x0 = rng.Randn(8, 4);
+  Matrix w0 = Rng(71).Randn(4, 3);
+  Matrix b0 = Rng(70).Randn(1, 3);
+  Matrix g0 = Rng(69).Rand(1, 3, 0.5, 1.5);
+  Matrix beta0 = Rng(68).Randn(1, 3);
+  for (ops::ActKind act : AllActKinds()) {
+    SCOPED_TRACE(static_cast<int>(act));
+    Tape t;
+    Matrix mean, var;
+    Var fused = ops::AffineBatchNormAct(t.Constant(x0), t.Constant(w0),
+                                        t.Constant(b0), t.Constant(g0),
+                                        t.Constant(beta0), eps, act, &mean,
+                                        &var);
+    Var reference = ReferenceAffineBnAct(t, t.Constant(x0), t.Constant(w0),
+                                         t.Constant(b0), t.Constant(g0),
+                                         t.Constant(beta0), eps, act);
+    ExpectRelClose(reference.value(), fused.value(), 1e-9);
+    // Reported batch statistics equal the ColMean composition's.
+    Var pre = ops::Affine(t.Constant(x0), t.Constant(w0), t.Constant(b0));
+    Var mu = ops::ColMean(pre);
+    Var v = ops::ColMean(
+        ops::Square(ops::AddRow(pre, ops::Neg(mu))));
+    ExpectRelClose(mu.value(), mean, 1e-12);
+    ExpectRelClose(v.value(), var, 1e-12);
+  }
+}
+
+TEST(FusedOpsTest, AffineBatchNormActGradsMatchReferenceChain) {
+  // The closed-form batch-norm backward regroups the reference chain's
+  // sums, so gradients agree to rounding error (not bitwise).
+  Rng rng(52);
+  const double eps = 1e-5;
+  Matrix x0 = rng.Randn(8, 4);
+  Matrix w0 = Rng(67).Randn(4, 3);
+  Matrix b0 = Rng(66).Randn(1, 3);
+  Matrix g0 = Rng(65).Rand(1, 3, 0.5, 1.5);
+  Matrix beta0 = Rng(64).Randn(1, 3);
+  for (ops::ActKind act :
+       {ops::ActKind::kIdentity, ops::ActKind::kElu, ops::ActKind::kTanh}) {
+    SCOPED_TRACE(static_cast<int>(act));
+    Tape t1;
+    Var x1 = t1.Leaf(x0), w1 = t1.Leaf(w0), b1 = t1.Leaf(b0);
+    Var g1 = t1.Leaf(g0), be1 = t1.Leaf(beta0);
+    Matrix mean, var;
+    t1.Backward(ops::SumAll(ops::Square(ops::AffineBatchNormAct(
+        x1, w1, b1, g1, be1, eps, act, &mean, &var))));
+    Tape t2;
+    Var x2 = t2.Leaf(x0), w2 = t2.Leaf(w0), b2 = t2.Leaf(b0);
+    Var g2 = t2.Leaf(g0), be2 = t2.Leaf(beta0);
+    t2.Backward(ops::SumAll(ops::Square(
+        ReferenceAffineBnAct(t2, x2, w2, b2, g2, be2, eps, act))));
+    ExpectRelClose(x2.grad(), x1.grad(), 1e-9);
+    ExpectRelClose(w2.grad(), w1.grad(), 1e-9);
+    ExpectRelClose(g2.grad(), g1.grad(), 1e-9);
+    ExpectRelClose(be2.grad(), be1.grad(), 1e-9);
+    // db is an exact cancellation (the batch mean absorbs the bias);
+    // both paths leave it at numerical zero.
+    EXPECT_LT(b1.grad().Norm(), 1e-9);
+    EXPECT_LT(b2.grad().Norm(), 1e-9);
+  }
+}
+
+TEST(GradCheckTest, AffineBatchNormActAllArguments) {
+  Rng rng(53);
+  const double eps = 1e-5;
+  const ops::ActKind act = ops::ActKind::kElu;
+  Matrix x0 = rng.Randn(8, 3);
+  Matrix w0 = Rng(63).Randn(3, 2);
+  Matrix b0 = Rng(62).Randn(1, 2);
+  Matrix g0 = Rng(61).Rand(1, 2, 0.5, 1.5);
+  Matrix beta0 = Rng(60).Randn(1, 2);
+  const auto graph = [&](Tape&, Var x, Var w, Var b, Var g, Var be) {
+    Matrix m, v;
+    return ops::SumAll(ops::Square(
+        ops::AffineBatchNormAct(x, w, b, g, be, eps, act, &m, &v)));
+  };
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, v, t.Leaf(w0), t.Leaf(b0), t.Leaf(g0),
+                     t.Leaf(beta0));
+      },
+      x0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, t.Leaf(x0), v, t.Leaf(b0), t.Leaf(g0),
+                     t.Leaf(beta0));
+      },
+      w0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, t.Leaf(x0), t.Leaf(w0), t.Leaf(b0), v,
+                     t.Leaf(beta0));
+      },
+      g0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, t.Leaf(x0), t.Leaf(w0), t.Leaf(b0), t.Leaf(g0), v);
+      },
+      beta0, 1e-4);
+}
+
+TEST(FusedOpsTest, AffineBatchNormInferActMatchesReferenceAndGradChecks) {
+  Rng rng(54);
+  const double eps = 1e-5;
+  const ops::ActKind act = ops::ActKind::kElu;
+  Matrix x0 = rng.Randn(6, 3);
+  Matrix w0 = Rng(59).Randn(3, 2);
+  Matrix b0 = Rng(58).Randn(1, 2);
+  Matrix g0 = Rng(57).Rand(1, 2, 0.5, 1.5);
+  Matrix beta0 = Rng(56).Randn(1, 2);
+  Matrix mean0 = Rng(55).Randn(1, 2);
+  Matrix var0 = Rng(54).Rand(1, 2, 0.5, 2.0);
+  {
+    // Reference: the frozen-statistics composition BatchNorm::Forward
+    // records at inference.
+    Tape t;
+    Var fused = ops::AffineBatchNormInferAct(
+        t.Constant(x0), t.Constant(w0), t.Constant(b0), t.Constant(g0),
+        t.Constant(beta0), mean0, var0, eps, act);
+    Var pre = ops::Affine(t.Constant(x0), t.Constant(w0), t.Constant(b0));
+    Matrix inv_std(1, 2);
+    for (int64_t c = 0; c < 2; ++c) {
+      inv_std(0, c) = 1.0 / std::sqrt(var0(0, c) + eps);
+    }
+    Var centered = ops::AddRow(pre, t.Constant(mean0 * -1.0));
+    Var normalized = ops::MulRow(centered, t.Constant(inv_std));
+    Var reference = ops::Elu(ops::AddRow(
+        ops::MulRow(normalized, t.Constant(g0)), t.Constant(beta0)));
+    ExpectRelClose(reference.value(), fused.value(), 1e-9);
+  }
+  const auto graph = [&](Tape&, Var x, Var w, Var b, Var g, Var be) {
+    return ops::SumAll(ops::Square(ops::AffineBatchNormInferAct(
+        x, w, b, g, be, mean0, var0, eps, act)));
+  };
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, v, t.Leaf(w0), t.Leaf(b0), t.Leaf(g0),
+                     t.Leaf(beta0));
+      },
+      x0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, t.Leaf(x0), v, t.Leaf(b0), t.Leaf(g0),
+                     t.Leaf(beta0));
+      },
+      w0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, t.Leaf(x0), t.Leaf(w0), v, t.Leaf(g0),
+                     t.Leaf(beta0));
+      },
+      b0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, t.Leaf(x0), t.Leaf(w0), t.Leaf(b0), v,
+                     t.Leaf(beta0));
+      },
+      g0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return graph(t, t.Leaf(x0), t.Leaf(w0), t.Leaf(b0), t.Leaf(g0), v);
+      },
+      beta0, 1e-4);
+}
+
+TEST(FusedOpsTest, MatmulTransAColsMatchesSlicedCopiesBitwise) {
+  Rng rng(55);
+  Matrix a0 = rng.Randn(7, 6);
+  Matrix b0 = Rng(53).Randn(7, 8);
+  const int64_t a_start = 2, a_cols = 3, b_start = 4, b_cols = 2;
+  Tape t;
+  Var view = ops::MatmulTransACols(t.Constant(a0), a_start, a_cols,
+                                   t.Constant(b0), b_start, b_cols);
+  Var sliced = ops::MatmulTransA(
+      ops::SliceCols(t.Constant(a0), a_start, a_cols),
+      ops::SliceCols(t.Constant(b0), b_start, b_cols));
+  ASSERT_TRUE(view.value().same_shape(sliced.value()));
+  for (int64_t i = 0; i < view.value().size(); ++i) {
+    EXPECT_EQ(view.value()[i], sliced.value()[i]) << "element " << i;
+  }
+}
+
+TEST(FusedOpsTest, ScatterRowsByTreatmentInvertsSelect) {
+  Rng rng(57);
+  const std::vector<int> t_assign = {1, 0, 0, 1, 0};
+  Matrix a0 = rng.Randn(2, 3);  // treated rows in ascending order
+  Matrix b0 = Rng(51).Randn(3, 3);
+  Tape t;
+  Var scattered = ops::ScatterRowsByTreatment(t.Constant(a0),
+                                              t.Constant(b0), t_assign);
+  // Row i carries the next row of its arm.
+  EXPECT_EQ(scattered.value()(0, 0), a0(0, 0));
+  EXPECT_EQ(scattered.value()(1, 0), b0(0, 0));
+  EXPECT_EQ(scattered.value()(2, 0), b0(1, 0));
+  EXPECT_EQ(scattered.value()(3, 0), a0(1, 0));
+  EXPECT_EQ(scattered.value()(4, 0), b0(2, 0));
+  // Select on a scatter of the same arms is the identity per row.
+  Var reselected = ops::SelectRowsByTreatment(scattered, scattered,
+                                              t_assign);
+  EXPECT_TRUE(AllClose(reselected.value(), scattered.value(), 0.0));
+}
+
+TEST(GradCheckTest, ScatterRowsByTreatmentBothArms) {
+  Rng rng(58);
+  const std::vector<int> t_assign = {1, 0, 1, 1, 0};
+  Matrix a0 = rng.Randn(3, 2);
+  Matrix b0 = Rng(50).Randn(2, 2);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return ops::SumAll(ops::Square(
+            ops::ScatterRowsByTreatment(v, t.Leaf(b0), t_assign)));
+      },
+      a0, 1e-5);
+  CheckGradient(
+      [&](Tape& t, Var v) {
+        return ops::SumAll(ops::Square(
+            ops::ScatterRowsByTreatment(t.Leaf(a0), v, t_assign)));
+      },
+      b0, 1e-5);
+}
+
+TEST(GradCheckTest, MatmulTransAColsBothSides) {
+  Rng rng(56);
+  Matrix a0 = rng.Randn(6, 5);
+  Matrix b0 = Rng(52).Randn(6, 4);
+  const auto loss = [](Var a, Var b) {
+    // Two overlapping windows of `a` exercise AccumulateGradCols'
+    // scatter-add into a shared parent gradient.
+    Var first = ops::MatmulTransACols(a, 1, 3, b, 0, 2);
+    Var second = ops::MatmulTransACols(a, 2, 2, b, 2, 2);
+    return ops::Add(ops::SumAll(ops::Square(first)),
+                    ops::SumAll(ops::Square(second)));
+  };
+  CheckGradient(
+      [&](Tape& t, Var v) { return loss(v, t.Leaf(b0)); }, a0, 1e-4);
+  CheckGradient(
+      [&](Tape& t, Var v) { return loss(t.Leaf(a0), v); }, b0, 1e-4);
+}
+
 // Parameterized sweep: gradients hold across shapes for core binary ops.
 class BinaryOpShapeSweep
     : public ::testing::TestWithParam<std::tuple<int, int>> {};

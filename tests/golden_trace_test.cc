@@ -1,0 +1,237 @@
+// Golden-trace lockdown of the training hot path (PR 4). A fixed-seed
+// short training run records a per-iteration loss trace plus a final
+// parameter / sample-weight digest; the suite then asserts
+//
+//   1. the reference NetStepMode reproduces the trace bitwise run over
+//      run and across worker-thread counts (the determinism contract of
+//      docs/ARCHITECTURE.md, now pinned at whole-training granularity),
+//   2. the fused NetStepMode is bitwise identical to the reference
+//      formulation when batch norm is off (the fused ops run the same
+//      kernels in the same order), and
+//   3. with batch norm on, the fused closed-form backward stays
+//      grad-consistent with the reference chain: identical first-step
+//      losses and tightly matching loss/parameter trajectories.
+//
+// The stability literature the paper builds on (estimator stability for
+// HTE) is the motivation: a silent gradient perturbation in the network
+// step would surface here as a trace mismatch long before it is visible
+// in PEHE.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/backbone.h"
+#include "core/dercfr.h"
+#include "core/trainer.h"
+#include "data/causal_dataset.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace {
+
+// Large enough that the first-layer matmul (n * d * rep_width flops)
+// crosses the ~64K-flop serial cutoff, so the thread-count-invariance
+// assertions actually exercise the parallel kernels.
+constexpr int64_t kSamples = 600;
+constexpr int64_t kDim = 10;
+constexpr int64_t kIterations = 6;
+
+/// Everything one training run pins down: the per-iteration loss trace
+/// (eval_every = 1) and the final parameter / weight values.
+struct Trace {
+  std::vector<double> train_loss;
+  std::vector<double> weight_loss;
+  std::vector<double> params;
+  std::vector<double> weights;
+};
+
+CausalDataset MakeDataset() {
+  Rng rng(2024);
+  CausalDataset data;
+  data.x = rng.Randn(kSamples, kDim);
+  data.t.resize(static_cast<size_t>(kSamples));
+  data.y = Matrix(kSamples, 1);
+  data.mu0 = Matrix(kSamples, 1);
+  data.mu1 = Matrix(kSamples, 1);
+  data.binary_outcome = false;
+  for (int64_t i = 0; i < kSamples; ++i) {
+    // Both arms guaranteed non-empty by the alternating fallback.
+    const bool treated = i < 2 ? (i == 0) : rng.Bernoulli(0.45);
+    data.t[static_cast<size_t>(i)] = treated ? 1 : 0;
+    const double base = 0.8 * data.x(i, 0) - 0.5 * data.x(i, 1);
+    const double effect = 1.0 + 0.3 * data.x(i, 2);
+    data.mu0(i, 0) = base;
+    data.mu1(i, 0) = base + effect;
+    data.y(i, 0) = (treated ? data.mu1(i, 0) : data.mu0(i, 0)) +
+                   rng.Normal(0.0, 0.1);
+  }
+  return data;
+}
+
+EstimatorConfig SmallConfig(bool batchnorm) {
+  EstimatorConfig config;
+  config.backbone = BackboneKind::kCfr;
+  config.framework = FrameworkKind::kSbrlHap;
+  config.network.rep_layers = 2;
+  config.network.rep_width = 16;
+  config.network.head_layers = 2;
+  config.network.head_width = 8;
+  config.network.batchnorm = batchnorm;
+  config.train.iterations = kIterations;
+  config.train.eval_every = 1;  // record the loss at every iteration
+  config.train.seed = 7;
+  config.sbrl.hsic_pair_budget = 12;
+  return config;
+}
+
+Trace RunTrace(EstimatorConfig config, NetStepMode mode) {
+  config.sbrl.net_step_mode = mode;
+  const CausalDataset data = MakeDataset();
+  Rng rng(config.train.seed);
+  std::unique_ptr<Backbone> backbone =
+      CreateBackbone(config, data.dim(), rng);
+  SbrlTrainer trainer(config, backbone.get(), /*binary_outcome=*/false);
+  TrainDiagnostics diag;
+  Matrix weights;
+  const Status status =
+      trainer.Train(data, /*valid=*/nullptr, &diag, &weights);
+  SBRL_CHECK(status.ok()) << status.ToString();
+  Trace trace;
+  trace.train_loss = diag.train_loss;
+  trace.weight_loss = diag.weight_loss;
+  std::vector<Param*> params;
+  backbone->CollectParams(&params);
+  for (const Param* p : params) {
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      trace.params.push_back(p->value[i]);
+    }
+  }
+  for (int64_t i = 0; i < weights.size(); ++i) {
+    trace.weights.push_back(weights[i]);
+  }
+  return trace;
+}
+
+void ExpectTracesBitwiseEqual(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.train_loss.size(), b.train_loss.size());
+  for (size_t i = 0; i < a.train_loss.size(); ++i) {
+    EXPECT_EQ(a.train_loss[i], b.train_loss[i]) << "loss at iteration " << i;
+    EXPECT_EQ(a.weight_loss[i], b.weight_loss[i])
+        << "weight loss at iteration " << i;
+  }
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    EXPECT_EQ(a.params[i], b.params[i]) << "parameter element " << i;
+  }
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (size_t i = 0; i < a.weights.size(); ++i) {
+    EXPECT_EQ(a.weights[i], b.weights[i]) << "sample weight " << i;
+  }
+}
+
+void ExpectTracesClose(const Trace& a, const Trace& b, double rel_tol) {
+  ASSERT_EQ(a.train_loss.size(), b.train_loss.size());
+  for (size_t i = 0; i < a.train_loss.size(); ++i) {
+    EXPECT_NEAR(b.train_loss[i], a.train_loss[i],
+                rel_tol * std::max(1.0, std::abs(a.train_loss[i])))
+        << "loss at iteration " << i;
+  }
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    EXPECT_NEAR(b.params[i], a.params[i],
+                rel_tol * std::max(1.0, std::abs(a.params[i])))
+        << "parameter element " << i;
+  }
+}
+
+/// Runs one trace under `workers` background threads, restoring the
+/// process-wide pool to its previous worker count afterwards.
+Trace TraceWithWorkers(const EstimatorConfig& config, NetStepMode mode,
+                       int workers) {
+  const int restore_workers = ThreadPool::GlobalParallelism() - 1;
+  ThreadPool::ResetGlobalForTest(workers);
+  Trace trace = RunTrace(config, mode);
+  ThreadPool::ResetGlobalForTest(restore_workers);
+  return trace;
+}
+
+TEST(GoldenTraceTest, ReferenceModeIsDeterministic) {
+  const EstimatorConfig config = SmallConfig(/*batchnorm=*/false);
+  const Trace first = RunTrace(config, NetStepMode::kReference);
+  const Trace second = RunTrace(config, NetStepMode::kReference);
+  ASSERT_EQ(first.train_loss.size(), static_cast<size_t>(kIterations));
+  EXPECT_TRUE(std::isfinite(first.train_loss.back()));
+  ExpectTracesBitwiseEqual(first, second);
+}
+
+TEST(GoldenTraceTest, ReferenceModeBitwiseStableAcrossThreadCounts) {
+  const EstimatorConfig config = SmallConfig(/*batchnorm=*/false);
+  const Trace serial = TraceWithWorkers(config, NetStepMode::kReference, 0);
+  const Trace threaded =
+      TraceWithWorkers(config, NetStepMode::kReference, 2);
+  ExpectTracesBitwiseEqual(serial, threaded);
+}
+
+TEST(GoldenTraceTest, FusedModeBitwiseStableAcrossThreadCounts) {
+  const EstimatorConfig config = SmallConfig(/*batchnorm=*/false);
+  const Trace serial = TraceWithWorkers(config, NetStepMode::kFused, 0);
+  const Trace threaded = TraceWithWorkers(config, NetStepMode::kFused, 2);
+  ExpectTracesBitwiseEqual(serial, threaded);
+}
+
+TEST(GoldenTraceTest, FusedMatchesReferenceBitwiseWithoutBatchNorm) {
+  // Without batch norm the fused ops run the same kernels in the same
+  // order as the reference composition: the whole training trajectory
+  // — losses, learned weights, final parameters — is bit-identical.
+  const EstimatorConfig config = SmallConfig(/*batchnorm=*/false);
+  const Trace reference = RunTrace(config, NetStepMode::kReference);
+  const Trace fused = RunTrace(config, NetStepMode::kFused);
+  ExpectTracesBitwiseEqual(reference, fused);
+}
+
+TEST(GoldenTraceTest, FusedTracksReferenceWithBatchNorm) {
+  // With batch norm the fused backward is a closed-form regrouping of
+  // the reference chain: forward values stay bitwise identical (the
+  // first recorded loss is computed before any update), and the short
+  // trajectory stays within tight relative tolerance.
+  const EstimatorConfig config = SmallConfig(/*batchnorm=*/true);
+  const Trace reference = RunTrace(config, NetStepMode::kReference);
+  const Trace fused = RunTrace(config, NetStepMode::kFused);
+  ASSERT_FALSE(reference.train_loss.empty());
+  EXPECT_EQ(reference.train_loss[0], fused.train_loss[0]);
+  ExpectTracesClose(reference, fused, 1e-6);
+}
+
+TEST(GoldenTraceTest, FusedModeChangesNoObservableForDerCfr) {
+  // The DeR-CFR backbone routes three representation networks and the
+  // heads through the engine; without batch norm fused must remain a
+  // pure re-recording there too.
+  EstimatorConfig config = SmallConfig(/*batchnorm=*/false);
+  config.backbone = BackboneKind::kDerCfr;
+  const CausalDataset data = MakeDataset();
+  const auto run = [&](NetStepMode mode) {
+    EstimatorConfig c = config;
+    c.sbrl.net_step_mode = mode;
+    Rng rng(c.train.seed);
+    std::unique_ptr<Backbone> backbone = CreateBackbone(c, data.dim(), rng);
+    auto* dercfr = static_cast<DerCfrBackbone*>(backbone.get());
+    dercfr->SetOutcomes(data.y);
+    SbrlTrainer trainer(c, backbone.get(), /*binary_outcome=*/false);
+    TrainDiagnostics diag;
+    Matrix weights;
+    SBRL_CHECK(trainer.Train(data, nullptr, &diag, &weights).ok());
+    return diag.train_loss;
+  };
+  const std::vector<double> reference = run(NetStepMode::kReference);
+  const std::vector<double> fused = run(NetStepMode::kFused);
+  ASSERT_EQ(reference.size(), fused.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i], fused[i]) << "loss at iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sbrl

@@ -240,6 +240,51 @@ TEST(BlockOpsGradTest, BatchedDecorrelationLossGradChecksEndToEnd) {
 }
 
 // ---------------------------------------------------------------------------
+// Exact-mode slice views: the per-pair reference loop reads column
+// windows of ONE stacked feature constant. No per-pair (n x k) block is
+// ever put on the tape — the node set whose row count equals the sample
+// count stays fixed (w leaf, normalized weights, stacked constant,
+// weighted stack) no matter how many pairs are measured.
+// ---------------------------------------------------------------------------
+
+TEST(ExactModeViewsTest, SampleSizedTapeNodesIndependentOfPairCount) {
+  const int64_t n = 40, k = 5;
+  Rng data_rng(31);
+  Matrix w_val = data_rng.Rand(n, 1, 0.5, 2.0);
+  int64_t nodes_small = -1;
+  int64_t pairs_small = -1;
+  // d = 4 measures 6 pairs, d = 9 measures 36: a 6x pair-count increase
+  // must add ZERO sample-sized tape allocations.
+  for (int64_t d : {int64_t{4}, int64_t{9}}) {
+    Matrix z = data_rng.Randn(n, d);
+    Tape tape;
+    Var w = tape.Leaf(w_val);
+    Rng rng(77);
+    Var loss = HsicRffDecorrelationLoss(z, w, k, /*pair_budget=*/0, rng,
+                                        BatchedHsicMode::kExact);
+    EXPECT_GT(loss.value().scalar(), 0.0);
+    int64_t sample_sized = 0;
+    for (int id = 0; id < tape.size(); ++id) {
+      if (tape.value(id).rows() == n) ++sample_sized;
+    }
+    const int64_t num_pairs = d * (d - 1) / 2;
+    if (nodes_small < 0) {
+      nodes_small = sample_sized;
+      pairs_small = num_pairs;
+      // The fixed set: w leaf, w_norm, stacked constant, weighted stack.
+      EXPECT_EQ(sample_sized, 4);
+    } else {
+      EXPECT_GT(num_pairs, pairs_small);
+      EXPECT_EQ(sample_sized, nodes_small)
+          << "exact mode allocated sample-sized nodes per pair";
+    }
+    // Backward still works against the shared views.
+    tape.Backward(loss);
+    EXPECT_GT(w.grad().Norm(), 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Pair selection: full-budget fast path and duplicate-freeness.
 // ---------------------------------------------------------------------------
 
