@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "harness.h"
@@ -86,6 +87,29 @@ int Main() {
               << tiled_s * 1e3 << " ms ("
               << (tiled_s > 0 ? ref_s / tiled_s : 0.0) << "x, "
               << ThreadPool::GlobalParallelism() << " thread(s))\n";
+
+    // Per-ISA sweep of the same product: every level the host supports,
+    // forced via SetActiveIsa, so BENCH_matmul_micro.json tracks the
+    // dispatch win (and each level's result is re-checked against the
+    // reference). The auto-resolved level is restored afterwards.
+    for (Isa isa : {Isa::kBaseline, Isa::kAvx2, Isa::kAvx512}) {
+      if (isa > MaxSupportedIsa()) continue;
+      // A SBRL_ISA env override outranks the forced choice; skip levels
+      // the resolver refuses so every entry is labeled with what ran.
+      if (SetActiveIsa(static_cast<IsaChoice>(static_cast<int>(isa))) !=
+          isa) {
+        continue;
+      }
+      Matrix isa_out;
+      const double isa_s = TimeOp([&] { return Matmul(a, b); }, reps,
+                                  &isa_out);
+      SBRL_CHECK(AllClose(ref_out, isa_out, 1e-9))
+          << IsaName(isa) << " Matmul diverges from reference at " << tag;
+      json.Record(std::string("matmul_tiled_") + IsaName(isa) + "/" + tag,
+                  isa_s);
+      std::cout << "  " << IsaName(isa) << ": " << isa_s * 1e3 << " ms\n";
+    }
+    SetActiveIsa(IsaChoice::kAuto);
   }
   std::cout << "wrote " << json.WriteOrDie() << "\n";
   return 0;

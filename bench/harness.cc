@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/cpu.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "data/split.h"
@@ -185,6 +186,9 @@ std::string BenchJsonWriter::WriteOrDie() const {
      << "  \"bench\": \"" << bench_id_ << "\",\n"
      << "  \"scale\": \"" << scale_name_ << "\",\n"
      << "  \"threads\": " << ThreadPool::GlobalParallelism() << ",\n"
+     << "  \"isa\": \"" << IsaName(ActiveIsa()) << "\",\n"
+     << "  \"cpu\": \"" << CpuFeatureString() << "\",\n"
+     << "  \"build\": \"" << BuildFlagsString() << "\",\n"
      << "  \"entries\": [\n";
   for (size_t i = 0; i < entries_.size(); ++i) {
     os << "    {\"name\": \"" << entries_[i].name << "\", \"wall_seconds\": "

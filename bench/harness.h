@@ -67,6 +67,13 @@ void PrintBanner(const std::string& experiment,
 /// bench is tracked across PRs. The output directory defaults to the
 /// working directory and can be overridden with SBRL_BENCH_JSON_DIR.
 ///
+/// Alongside the timings, every file records the run metadata that
+/// makes numbers comparable across hosts: the resolved kernel ISA
+/// ("isa"), the detected CPU feature set ("cpu"), the worker-lane
+/// count ("threads"), and the compiler + flags of the build
+/// ("build"). A perf delta without a matching metadata delta is a real
+/// regression; one with a different ISA or host is not comparable.
+///
 /// Every recorded timing is CHECKed finite and non-negative at write
 /// time, which is what the ctest smoke perf guard relies on to fail on
 /// broken timing paths.

@@ -71,10 +71,20 @@ def lint_header(path: Path) -> list:
     prev_meaningful = ""  # last non-blank line before the current one
     continuation = False  # inside a multi-line declaration
     pending_record = None  # access of a record whose '{' is still ahead
+    in_macro = False  # previous line ended with a backslash continuation
 
     for lineno, raw in enumerate(lines, start=1):
         line = raw.rstrip()
         stripped = line.strip()
+
+        # Lines inside a multi-line #define (backslash continuations)
+        # are macro body, never declarations.
+        was_macro = in_macro
+        in_macro = stripped.endswith("\\") and (
+            was_macro or stripped.startswith("#"))
+        if was_macro:
+            prev_meaningful = stripped
+            continue
 
         if not stripped:
             prev_meaningful = ""

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: builds the default and sanitized configurations and
+# runs the tier-1 suite (which includes the threads2 and isa_baseline
+# variants), then the sanitizer subset. Mirrors the ROADMAP verify line;
+# .github/workflows/ci.yml calls this script, and it runs unchanged on
+# any box with cmake + gcc/clang + gtest (google-benchmark and doxygen
+# are optional — the corresponding targets/tests skip when absent).
+#
+# Usage: scripts/ci.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== default configuration ==="
+cmake -B "${PREFIX}" -S .
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" -L tier1 --output-on-failure -j "${JOBS}"
+# threads2 variants are tier1-labeled too; run the label explicitly so a
+# labeling regression cannot silently drop them.
+ctest --test-dir "${PREFIX}" -L threads2 --output-on-failure -j "${JOBS}"
+
+echo "=== sanitized configuration (address,undefined) ==="
+cmake -B "${PREFIX}-sanitize" -S . -DSBRL_SANITIZE=address,undefined
+cmake --build "${PREFIX}-sanitize" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-sanitize" -L sanitize --output-on-failure \
+      -j "${JOBS}"
+
+echo "=== CI OK ==="

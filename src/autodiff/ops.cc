@@ -26,11 +26,12 @@ Tape* SameTape(Var a, Var b) {
 /// independent of the worker count.
 template <typename Body>
 void ElementwiseFor(int64_t n, Body body) {
-  if (n <= kParallelSerialCutoff) {
+  const int64_t cutoff = SerialCutoff();
+  if (n <= cutoff) {
     body(static_cast<int64_t>(0), n);
     return;
   }
-  ParallelFor(0, n, kParallelSerialCutoff, body);
+  ParallelFor(0, n, cutoff, body);
 }
 
 /// Generic unary elementwise op: y = f(x), dy/dx supplied as a function
@@ -132,12 +133,12 @@ auto DispatchAct(ActKind act, Fn&& fn) {
 /// bodies write disjoint rows, so results are worker-count invariant.
 template <typename Body>
 void RowwiseFor(int64_t rows, int64_t cols, Body body) {
-  if (rows * cols <= kParallelSerialCutoff) {
+  const int64_t cutoff = SerialCutoff();
+  if (rows * cols <= cutoff) {
     body(static_cast<int64_t>(0), rows);
     return;
   }
-  const int64_t grain =
-      std::max<int64_t>(1, kParallelSerialCutoff / std::max<int64_t>(1, cols));
+  const int64_t grain = std::max<int64_t>(1, cutoff / std::max<int64_t>(1, cols));
   ParallelFor(0, rows, grain, body);
 }
 

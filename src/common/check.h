@@ -13,6 +13,7 @@ namespace internal {
 /// programming errors, not recoverable conditions, so we fail fast.
 class CheckFailure {
  public:
+  /// Starts a failure message naming the failed condition's location.
   CheckFailure(const char* file, int line, const char* condition) {
     stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
             << " ";
@@ -21,6 +22,7 @@ class CheckFailure {
     std::cerr << stream_.str() << std::endl;
     std::abort();
   }
+  /// Streams extra context onto the failure message.
   template <typename T>
   CheckFailure& operator<<(const T& v) {
     stream_ << v;
@@ -35,6 +37,8 @@ class CheckFailure {
 /// the false arm of the ternary inside SBRL_CHECK. operator& binds looser
 /// than operator<<, so all streamed context reaches the failure first.
 struct Voidify {
+  /// Discards the streamed failure expression (which aborts on
+  /// destruction), yielding void for the ternary's false arm.
   void operator&(const CheckFailure&) {}
 };
 

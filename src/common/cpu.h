@@ -1,0 +1,107 @@
+#ifndef SBRL_COMMON_CPU_H_
+#define SBRL_COMMON_CPU_H_
+
+#include <string>
+
+namespace sbrl {
+
+/// x86 feature bits the kernel-dispatch layer cares about, read once
+/// per process via cpuid (plus XGETBV for the OS-enabled register
+/// state). On non-x86 builds every field is false.
+struct CpuFeatures {
+  /// AVX instructions usable (cpuid bit AND the OS saves ymm state).
+  bool avx = false;
+  /// AVX2 256-bit integer/permute extensions.
+  bool avx2 = false;
+  /// Fused multiply-add (FMA3).
+  bool fma = false;
+  /// AVX-512 foundation (and the OS saves zmm/opmask state).
+  bool avx512f = false;
+  /// AVX-512 doubleword/quadword extension.
+  bool avx512dq = false;
+  /// AVX-512 byte/word extension.
+  bool avx512bw = false;
+  /// AVX-512 128/256-bit vector-length extension.
+  bool avx512vl = false;
+};
+
+/// Feature bits of the host CPU, detected on first call and cached for
+/// the process lifetime. Detection never throws; on non-x86 targets or
+/// when cpuid is unavailable it returns all-false.
+const CpuFeatures& DetectCpuFeatures();
+
+/// Compact space-separated listing of the detected features (e.g.
+/// "avx avx2 fma avx512f avx512dq avx512bw avx512vl" or "none"), for
+/// logs and BENCH_*.json run metadata.
+std::string CpuFeatureString();
+
+/// Compiler + flag string of this build (compiler version and the
+/// optimization flags the library was compiled with), for BENCH_*.json
+/// run metadata so perf trajectories are comparable across hosts.
+std::string BuildFlagsString();
+
+/// Resolved instruction-set level of the kernel-dispatch tables (see
+/// tensor/kernels.h). Levels are strictly ordered: every level's
+/// kernels are also valid at the levels above it.
+///
+/// kBaseline is the portable x86-64 (SSE2) build — bit for bit the
+/// pre-dispatch kernels, and the reference the wider tables are tested
+/// against. kAvx2 requires avx2 + fma (x86-64-v3); kAvx512 additionally
+/// requires avx512f/dq/bw/vl (x86-64-v4).
+enum class Isa {
+  kBaseline = 0,  ///< portable SSE2 kernels (the pre-dispatch code)
+  kAvx2 = 1,      ///< 256-bit kernels (requires avx2 + fma)
+  kAvx512 = 2,    ///< 512-bit kernels (requires avx512f/dq/bw/vl)
+};
+
+/// Requested ISA level: a concrete Isa or automatic resolution to the
+/// widest level the host supports. This is what SbrlConfig::isa and the
+/// SBRL_ISA environment variable express; ResolveIsa turns it into an
+/// Isa, clamped to what the host and build actually provide.
+enum class IsaChoice {
+  kAuto = -1,     ///< widest supported level (the default)
+  kBaseline = 0,  ///< force the portable kernels
+  kAvx2 = 1,      ///< request the 256-bit kernels
+  kAvx512 = 2,    ///< request the 512-bit kernels
+};
+
+/// Lowercase Isa name: "baseline" / "avx2" / "avx512".
+const char* IsaName(Isa isa);
+
+/// Lowercase IsaChoice name: "auto" or the Isa names above.
+const char* IsaChoiceName(IsaChoice choice);
+
+/// Parses "auto" / "baseline" / "avx2" / "avx512" (the SBRL_ISA
+/// grammar) into `*out`, returning false on any other string.
+bool ParseIsaChoice(const std::string& text, IsaChoice* out);
+
+/// Widest Isa level this process can execute: the minimum of what the
+/// host CPU supports (DetectCpuFeatures) and what this binary was built
+/// with (per-ISA kernel translation units are compiled only when the
+/// toolchain accepts the -march flags; see CMakeLists.txt).
+Isa MaxSupportedIsa();
+
+/// Pure resolution rule shared by every entry point (and unit-testable
+/// without touching process state): `env` — the raw SBRL_ISA value, or
+/// null/empty when unset — takes precedence over `config_choice` when
+/// it parses (an unparseable value is ignored, with a one-time warning
+/// elsewhere); kAuto resolves to `max_supported`; anything wider than
+/// `max_supported` is clamped down to it.
+Isa ResolveIsa(IsaChoice config_choice, const char* env, Isa max_supported);
+
+/// The process-wide ISA level every kernel dispatch reads. First use
+/// resolves ResolveIsa(kAuto, getenv("SBRL_ISA"), MaxSupportedIsa());
+/// SetActiveIsa re-resolves on demand. Reading is one relaxed atomic
+/// load — cheap enough for per-call dispatch.
+Isa ActiveIsa();
+
+/// Re-resolves the active ISA from `choice` (typically SbrlConfig::isa)
+/// under the rule of ResolveIsa — the SBRL_ISA environment variable, if
+/// set and valid, still wins — and returns the level now active. Safe
+/// to call between kernel invocations; must not race an in-flight
+/// kernel (callers swap at step boundaries, e.g. Train() entry).
+Isa SetActiveIsa(IsaChoice choice);
+
+}  // namespace sbrl
+
+#endif  // SBRL_COMMON_CPU_H_

@@ -13,6 +13,7 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 
 /// Global minimum level; messages below it are dropped. Defaults to kInfo.
 void SetLogLevel(LogLevel level);
+/// Current global minimum level (see SetLogLevel).
 LogLevel GetLogLevel();
 
 namespace internal {
@@ -21,9 +22,11 @@ namespace internal {
 /// tag on destruction so a statement is emitted atomically.
 class LogMessage {
  public:
+  /// Opens a statement at `level`, tagged with its source location.
   LogMessage(LogLevel level, const char* file, int line);
   ~LogMessage();
 
+  /// Streams a value into the buffered message.
   template <typename T>
   LogMessage& operator<<(const T& v) {
     stream_ << v;

@@ -5,18 +5,63 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/cpu.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace sbrl {
 
 namespace simd_detail {
-// Defined in simd_vec.cc, the only fast-math translation unit.
+// Per-ISA serial sweep kernels, each defined in its own fast-math
+// translation unit (simd_vec.cc and the -march variants; see
+// CMakeLists.txt). The baseline pair vectorizes to the SSE2 libmvec
+// cosine (_ZGVbN2v_cos); the AVX2/AVX-512 pairs are the same source
+// compiled for x86-64-v3/v4, so the vectorizer emits the 4-lane
+// (_ZGVdN4v_cos) / 8-lane (_ZGVeN8v_cos) variants. All libmvec
+// variants carry the same 4-ulp accuracy bound, but their bit patterns
+// differ — which ISA ran is part of a result's provenance, which is
+// why the resolved level is pinned per process (common/cpu.h).
 void VecCosSerial(const double* x, double* y, int64_t n);
 void ScaledCosSerialInPlace(double* x, int64_t n, double scale);
+#if defined(SBRL_HAVE_ISA_AVX2)
+void VecCosSerialAvx2(const double* x, double* y, int64_t n);
+void ScaledCosSerialInPlaceAvx2(double* x, int64_t n, double scale);
+#endif
+#if defined(SBRL_HAVE_ISA_AVX512)
+void VecCosSerialAvx512(const double* x, double* y, int64_t n);
+void ScaledCosSerialInPlaceAvx512(double* x, int64_t n, double scale);
+#endif
 }  // namespace simd_detail
 
 namespace {
+
+/// Serial sweep kernels of one ISA level (the vectorized CosineMode
+/// only; kExact always runs scalar std::cos regardless of level).
+struct CosKernels {
+  void (*vec_cos)(const double* x, double* y, int64_t n);
+  void (*scaled_cos)(double* x, int64_t n, double scale);
+};
+
+/// Vectorized-mode kernels of the active ISA level; levels not
+/// compiled in alias the baseline pair (unreachable in practice —
+/// ActiveIsa never resolves above MaxSupportedIsa).
+CosKernels ActiveCosKernels() {
+  switch (ActiveIsa()) {
+#if defined(SBRL_HAVE_ISA_AVX2)
+    case Isa::kAvx2:
+      return {simd_detail::VecCosSerialAvx2,
+              simd_detail::ScaledCosSerialInPlaceAvx2};
+#endif
+#if defined(SBRL_HAVE_ISA_AVX512)
+    case Isa::kAvx512:
+      return {simd_detail::VecCosSerialAvx512,
+              simd_detail::ScaledCosSerialInPlaceAvx512};
+#endif
+    default:
+      return {simd_detail::VecCosSerial,
+              simd_detail::ScaledCosSerialInPlace};
+  }
+}
 
 /// Exact reference: plain scalar std::cos in a normally compiled TU, so
 /// the compiler cannot substitute the vector variant.
@@ -38,7 +83,12 @@ template <typename SerialFn>
 void BlockAlignedSweep(int64_t n, const SerialFn& serial_fn) {
   Timer timer;
   const int64_t nblocks = (n + kCosSweepBlock - 1) / kCosSweepBlock;
-  ParallelFor(0, nblocks, /*min_grain=*/1, [&](int64_t lo, int64_t hi) {
+  // Grain in blocks, derived from the shared runtime cutoff (one block
+  // at the default cutoff). Chunk STARTS stay block-aligned whatever
+  // the grain, so the cutoff knob cannot change any bit either.
+  const int64_t grain = std::max<int64_t>(
+      1, SerialCutoff() / (kCosSweepBlock * kCosFlopWeight));
+  ParallelFor(0, nblocks, grain, [&](int64_t lo, int64_t hi) {
     serial_fn(lo * kCosSweepBlock, std::min(hi * kCosSweepBlock, n));
   });
   g_cos_sweep_nanos.fetch_add(
@@ -58,16 +108,18 @@ const char* CosineModeName(CosineMode mode) {
 
 void VecCos(const double* x, double* y, int64_t n) {
   SBRL_CHECK_GE(n, 0);
-  BlockAlignedSweep(n, [x, y](int64_t lo, int64_t hi) {
-    simd_detail::VecCosSerial(x + lo, y + lo, hi - lo);
+  const CosKernels kernels = ActiveCosKernels();
+  BlockAlignedSweep(n, [x, y, kernels](int64_t lo, int64_t hi) {
+    kernels.vec_cos(x + lo, y + lo, hi - lo);
   });
 }
 
 void ScaledCosInPlace(double* x, int64_t n, double scale, CosineMode mode) {
   SBRL_CHECK_GE(n, 0);
   if (mode == CosineMode::kVectorized) {
-    BlockAlignedSweep(n, [x, scale](int64_t lo, int64_t hi) {
-      simd_detail::ScaledCosSerialInPlace(x + lo, hi - lo, scale);
+    const CosKernels kernels = ActiveCosKernels();
+    BlockAlignedSweep(n, [x, scale, kernels](int64_t lo, int64_t hi) {
+      kernels.scaled_cos(x + lo, hi - lo, scale);
     });
   } else {
     BlockAlignedSweep(n, [x, scale](int64_t lo, int64_t hi) {
@@ -91,14 +143,15 @@ void ScaledCosRowsInPlace(double* x, int64_t rows, int64_t cols,
   Timer timer;
   const int64_t row_work = cols * kCosFlopWeight;
   const int64_t grain =
-      std::max<int64_t>(1, kParallelSerialCutoff /
+      std::max<int64_t>(1, SerialCutoff() /
                                std::max<int64_t>(1, row_work));
   const bool vectorized = mode == CosineMode::kVectorized;
+  const CosKernels kernels = ActiveCosKernels();
   ParallelFor(0, rows, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       double* row = x + r * stride;
       if (vectorized) {
-        simd_detail::ScaledCosSerialInPlace(row, cols, scale);
+        kernels.scaled_cos(row, cols, scale);
       } else {
         ScaledCosExactSerialInPlace(row, cols, scale);
       }

@@ -29,33 +29,43 @@ class Status {
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
 
+  /// Constructs a status with an explicit code and message.
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
   /// Returns the OK status singleton value.
   static Status OK() { return Status(); }
 
+  /// Error of the corresponding StatusCode with `msg` as the message.
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
+  /// See InvalidArgument.
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  /// See InvalidArgument.
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  /// See InvalidArgument.
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  /// See InvalidArgument.
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// See InvalidArgument.
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
+  /// True when the operation succeeded (code is kOk).
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
   StatusCode code() const { return code_; }
+  /// The human-readable error detail (empty for OK).
   const std::string& message() const { return message_; }
 
   /// Human-readable one-line rendering, e.g. "InvalidArgument: bad dim".
@@ -64,6 +74,7 @@ class Status {
     return std::string(CodeName(code_)) + ": " + message_;
   }
 
+  /// Code-and-message equality.
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }

@@ -25,7 +25,9 @@ class StatusOr {
     SBRL_CHECK(!status_.ok()) << "OK status requires a value";
   }
 
+  /// True when a value is present.
   bool ok() const { return status_.ok(); }
+  /// The carried status (OK exactly when a value is present).
   const Status& status() const { return status_; }
 
   /// Returns the contained value; CHECK-fails on error state.
@@ -33,18 +35,24 @@ class StatusOr {
     SBRL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
     return *value_;
   }
+  /// See the const& overload.
   T& value() & {
     SBRL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
     return *value_;
   }
+  /// Moves the contained value out; CHECK-fails on error state.
   T&& value() && {
     SBRL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
     return std::move(*value_);
   }
 
+  /// Pointer-style access to the value; CHECK-fails on error state.
   const T& operator*() const& { return value(); }
+  /// See the const& overload.
   T& operator*() & { return value(); }
+  /// Pointer-style access to the value; CHECK-fails on error state.
   const T* operator->() const { return &value(); }
+  /// See the const overload.
   T* operator->() { return &value(); }
 
  private:

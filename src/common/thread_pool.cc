@@ -16,6 +16,9 @@ namespace {
 /// worker run inline to avoid self-deadlock.
 thread_local bool t_inside_worker = false;
 
+/// Runtime serial cutoff; 0 means "not yet resolved from the env".
+std::atomic<int64_t> g_serial_cutoff{0};
+
 int EnvThreadCount() {
   const char* env = std::getenv("SBRL_NUM_THREADS");
   if (env != nullptr && *env != '\0') {
@@ -191,6 +194,27 @@ void ThreadPool::ResetGlobalForTest(int num_workers) {
 }
 
 int ThreadPool::GlobalParallelism() { return Global().num_workers() + 1; }
+
+int64_t SerialCutoff() {
+  const int64_t cached = g_serial_cutoff.load(std::memory_order_relaxed);
+  if (cached > 0) return cached;
+  int64_t cutoff = kParallelSerialCutoff;
+  const char* env = std::getenv("SBRL_SERIAL_CUTOFF");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      cutoff = static_cast<int64_t>(parsed);
+    }
+  }
+  g_serial_cutoff.store(cutoff, std::memory_order_relaxed);
+  return cutoff;
+}
+
+void SetSerialCutoff(int64_t cutoff) {
+  SBRL_CHECK_GT(cutoff, 0);
+  g_serial_cutoff.store(cutoff, std::memory_order_relaxed);
+}
 
 void ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
                  const std::function<void(int64_t, int64_t)>& body) {

@@ -11,12 +11,29 @@
 
 namespace sbrl {
 
-/// Work below this many scalar operations (flops or mapped elements)
-/// runs serially inline: one chunk of this size amortizes the ~10us
-/// dispatch cost, and bench/test-sized shapes never leave the calling
-/// thread. Shared by the tensor kernels and the elementwise autodiff
-/// ops so "small" means the same thing everywhere.
+/// Default of SerialCutoff(): work below this many scalar operations
+/// (flops or mapped elements) runs serially inline — one chunk of this
+/// size amortizes the ~10us dispatch cost, and bench/test-sized shapes
+/// never leave the calling thread. Shared by the tensor kernels and
+/// the elementwise autodiff ops so "small" means the same thing
+/// everywhere.
 constexpr int64_t kParallelSerialCutoff = 1 << 16;
+
+/// The runtime serial-inline cutoff every parallel kernel compares its
+/// flop count against (and derives its ParallelFor grain from, so one
+/// knob tunes both). Defaults to kParallelSerialCutoff; overridable for
+/// a process via the SBRL_SERIAL_CUTOFF environment variable (a
+/// positive integer, read once on first use) or programmatically via
+/// SetSerialCutoff. Every kernel splits work on fixed per-element /
+/// per-row boundaries, so changing the cutoff re-balances scheduling
+/// only — results stay bitwise identical (see docs/ARCHITECTURE.md).
+int64_t SerialCutoff();
+
+/// Overrides SerialCutoff() for this process (cutoff must be > 0).
+/// Intended for benchmarks and tuning experiments — e.g. the
+/// thread-scaling micro bench sweeps it to find the dispatch
+/// break-even point on a given host.
+void SetSerialCutoff(int64_t cutoff);
 
 /// Persistent worker-thread pool driving data-parallel loops.
 ///
@@ -36,6 +53,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of background worker threads (total lanes minus one).
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   /// Runs body(lo, hi) over a partition of [begin, end) across the pool,

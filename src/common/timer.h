@@ -10,6 +10,7 @@ namespace sbrl {
 /// (paper Table VI) and the trainer's progress reporting.
 class Timer {
  public:
+  /// Starts timing at construction.
   Timer() { Restart(); }
 
   /// Resets the epoch to now.

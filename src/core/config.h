@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/cpu.h"
 #include "common/simd.h"
 #include "common/status.h"
 #include "nn/mlp.h"
@@ -138,6 +139,16 @@ struct SbrlConfig {
   /// norm they agree to rounding error in the backward pass (see
   /// NetStepMode in nn/net_step.h and tests/golden_trace_test.cc).
   NetStepMode net_step_mode = NetStepMode::kFused;
+  /// Requested kernel instruction-set level (see Isa / IsaChoice in
+  /// common/cpu.h). kAuto (default) resolves to the widest level the
+  /// host CPU and this build support; kBaseline forces the portable
+  /// pre-dispatch kernels bit for bit. The SBRL_ISA environment
+  /// variable, when set to a valid level, overrides this field —
+  /// resolution order: SBRL_ISA env > config > auto-detect, always
+  /// clamped to what the host supports. The trainer applies the choice
+  /// process-wide at Train() entry and records the resolved level in
+  /// TrainDiagnostics::isa.
+  IsaChoice isa = IsaChoice::kAuto;
   /// Memoize per-slot RFF projection draws across the HAP tiers of one
   /// weight step (they share the in_dim = 1, k = rff_features stream).
   /// Value-transparent: training is bitwise identical with the cache

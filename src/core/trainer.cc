@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "common/cpu.h"
 #include "common/logging.h"
 #include "common/simd.h"
 #include "common/timer.h"
@@ -62,6 +63,9 @@ Status SbrlTrainer::Train(const CausalDataset& train,
                           Matrix* out_weights) {
   SBRL_CHECK(diag != nullptr && out_weights != nullptr);
   Timer timer;
+  // Resolve the kernel ISA for this run (SBRL_ISA env > config > auto,
+  // clamped to the host; see common/cpu.h) and record what actually ran.
+  diag->isa = IsaName(SetActiveIsa(config_.sbrl.isa));
   const double cos_seconds_at_start = CosSweepSecondsTotal();
   const int64_t n = train.n();
   const bool learn_weights =

@@ -1,6 +1,7 @@
 #ifndef SBRL_CORE_TRAINER_H_
 #define SBRL_CORE_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -45,6 +46,12 @@ struct TrainDiagnostics {
   /// vectorized CosineMode targets; BENCH_table6.json records it as
   /// `<method>/rff_cos` so the cosine share is tracked across PRs.
   double rff_cos_seconds = 0.0;
+  /// Resolved kernel ISA level this run trained with ("baseline" /
+  /// "avx2" / "avx512") — SbrlConfig::isa after clamping to the host
+  /// and applying any SBRL_ISA override (see common/cpu.h). Recorded
+  /// so perf numbers are attributable to the kernel set that produced
+  /// them; BenchJsonWriter stamps the same value into BENCH_*.json.
+  std::string isa;
 };
 
 /// Runs the paper's Algorithm 1: alternating full-batch optimization of

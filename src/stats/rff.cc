@@ -65,7 +65,7 @@ void StackRffColumnsImpl(const Matrix& x, const std::vector<int64_t>& cols,
   // kernels. (The cosine cost moved to the flat sweep below.)
   const int64_t work_per_col = x.rows() * k * 2;
   const int64_t grain = std::max<int64_t>(
-      1, kParallelSerialCutoff / std::max<int64_t>(1, work_per_col));
+      1, SerialCutoff() / std::max<int64_t>(1, work_per_col));
   ParallelFor(0, n_cols, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       WriteRffAnglesToColumnInto(*projs[static_cast<size_t>(i)], x,

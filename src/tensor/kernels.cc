@@ -1,0 +1,115 @@
+// Kernel-table resolution for the ISA dispatch layer (tensor/kernels.h).
+// This TU is compiled with the project's default flags; it only wires
+// per-ISA entry points (defined in linalg_kernels_{baseline,avx2,
+// avx512}.cc) into tables and picks one by the active Isa. The wide
+// block-cross entries compose with the baseline ones: a wide table
+// first offers the vectorized sizes and falls back to the baseline
+// specializations for the rest, so forcing a wider ISA never loses the
+// scalar-specialized sizes.
+
+#include "tensor/kernels.h"
+
+#include "tensor/kernels_impl.h"
+
+namespace sbrl {
+
+namespace {
+
+namespace lk = linalg_kernels;
+
+constexpr LinalgKernels kBaselineTable = {
+    lk::BaselineMatmulRows,      lk::BaselineMatmulTransARows,
+    lk::BaselineMatmulTransBRows, lk::BaselineBlockCrossFwd,
+    lk::BaselineBlockCrossGradDw,
+};
+
+#if defined(SBRL_HAVE_ISA_AVX2)
+
+bool Avx2BlockCrossFwdOrBaseline(int64_t block, const double* fd,
+                                 const double* wd, double* od, int64_t n,
+                                 int64_t fcols,
+                                 const std::pair<int64_t, int64_t>* pd,
+                                 int64_t p0, int64_t p1) {
+  if (lk::Avx2BlockCrossFwd(block, fd, wd, od, n, fcols, pd, p0, p1)) {
+    return true;
+  }
+  return lk::BaselineBlockCrossFwd(block, fd, wd, od, n, fcols, pd, p0, p1);
+}
+
+bool Avx2BlockCrossGradDwOrBaseline(int64_t block, const double* gd,
+                                    const double* fd, double* dwd,
+                                    int64_t fcols,
+                                    const std::pair<int64_t, int64_t>* pd,
+                                    int64_t num_pairs, int64_t r0,
+                                    int64_t r1) {
+  if (lk::Avx2BlockCrossGradDw(block, gd, fd, dwd, fcols, pd, num_pairs, r0,
+                               r1)) {
+    return true;
+  }
+  return lk::BaselineBlockCrossGradDw(block, gd, fd, dwd, fcols, pd,
+                                      num_pairs, r0, r1);
+}
+
+constexpr LinalgKernels kAvx2Table = {
+    lk::Avx2MatmulRows,      lk::Avx2MatmulTransARows,
+    lk::Avx2MatmulTransBRows, Avx2BlockCrossFwdOrBaseline,
+    Avx2BlockCrossGradDwOrBaseline,
+};
+
+#else
+constexpr LinalgKernels kAvx2Table = kBaselineTable;
+#endif  // SBRL_HAVE_ISA_AVX2
+
+#if defined(SBRL_HAVE_ISA_AVX512)
+
+bool Avx512BlockCrossFwdOrBaseline(int64_t block, const double* fd,
+                                   const double* wd, double* od, int64_t n,
+                                   int64_t fcols,
+                                   const std::pair<int64_t, int64_t>* pd,
+                                   int64_t p0, int64_t p1) {
+  if (lk::Avx512BlockCrossFwd(block, fd, wd, od, n, fcols, pd, p0, p1)) {
+    return true;
+  }
+  return lk::BaselineBlockCrossFwd(block, fd, wd, od, n, fcols, pd, p0, p1);
+}
+
+bool Avx512BlockCrossGradDwOrBaseline(int64_t block, const double* gd,
+                                      const double* fd, double* dwd,
+                                      int64_t fcols,
+                                      const std::pair<int64_t, int64_t>* pd,
+                                      int64_t num_pairs, int64_t r0,
+                                      int64_t r1) {
+  if (lk::Avx512BlockCrossGradDw(block, gd, fd, dwd, fcols, pd, num_pairs,
+                                 r0, r1)) {
+    return true;
+  }
+  return lk::BaselineBlockCrossGradDw(block, gd, fd, dwd, fcols, pd,
+                                      num_pairs, r0, r1);
+}
+
+constexpr LinalgKernels kAvx512Table = {
+    lk::Avx512MatmulRows,      lk::Avx512MatmulTransARows,
+    lk::Avx512MatmulTransBRows, Avx512BlockCrossFwdOrBaseline,
+    Avx512BlockCrossGradDwOrBaseline,
+};
+
+#else
+constexpr LinalgKernels kAvx512Table = kAvx2Table;
+#endif  // SBRL_HAVE_ISA_AVX512
+
+}  // namespace
+
+const LinalgKernels& LinalgKernelsForIsa(Isa isa) {
+  switch (isa) {
+    case Isa::kBaseline: return kBaselineTable;
+    case Isa::kAvx2: return kAvx2Table;
+    case Isa::kAvx512: return kAvx512Table;
+  }
+  return kBaselineTable;
+}
+
+const LinalgKernels& ActiveLinalgKernels() {
+  return LinalgKernelsForIsa(ActiveIsa());
+}
+
+}  // namespace sbrl

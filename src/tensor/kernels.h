@@ -1,0 +1,92 @@
+#ifndef SBRL_TENSOR_KERNELS_H_
+#define SBRL_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/cpu.h"
+
+namespace sbrl {
+
+/// Function-pointer table of the per-tile linear-algebra kernels behind
+/// the three hot kernel families (dense matmuls, the block-pair HSIC
+/// cross kernels, and — resolved separately in common/simd.cc for
+/// layering — the RFF cosine sweep). One table exists per Isa level;
+/// tensor/linalg.cc fetches ActiveLinalgKernels() at each public entry
+/// point and hands tiles to the resolved kernels, so the shape checks,
+/// serial cutoffs, and ParallelFor chunking live in exactly one place
+/// while the arithmetic inner loops are ISA-specialized.
+///
+/// Determinism contract (docs/ARCHITECTURE.md "ISA dispatch"):
+///  - The baseline table is the pre-dispatch scalar code verbatim:
+///    under SBRL_ISA=baseline every result is bit for bit the
+///    pre-dispatch value.
+///  - matmul_rows / matmul_trans_a_rows / block_cross_fwd preserve the
+///    exact per-element multiply-then-add chain in ascending reduction
+///    order AT EVERY LEVEL (wider tables vectorize only the independent
+///    output dimension and are compiled with -ffp-contract=off), so
+///    these three are bitwise identical across every Isa level.
+///  - matmul_trans_b_rows and block_cross_grad_dw are dot-product
+///    shaped; wider levels use FMA lanes plus a fixed-shape horizontal
+///    sum, so they are deterministic and thread-count-invariant WITHIN
+///    a level but agree with baseline only to rounding (bounded by
+///    tests/cpu_dispatch_test.cc).
+struct LinalgKernels {
+  /// Rows [r0, r1) of out += a * b, a (n x k), b (k x m): each output
+  /// element accumulates its k terms in ascending order.
+  using MatmulRowsFn = void (*)(const double* a, const double* b, double* o,
+                                int64_t k, int64_t m, int64_t r0, int64_t r1);
+  /// Rows [r0, r1) of out += a^T * b, a (k x n), b (k x m): the
+  /// reduction index stays outermost-ascending for every element.
+  using MatmulTransARowsFn = void (*)(const double* a, const double* b,
+                                      double* o, int64_t k, int64_t n,
+                                      int64_t m, int64_t r0, int64_t r1);
+  /// Rows [r0, r1) of out += a * b^T, a (n x k), b (m x k): per-element
+  /// dot products over k.
+  using MatmulTransBRowsFn = void (*)(const double* a, const double* b,
+                                      double* o, int64_t k, int64_t m,
+                                      int64_t r0, int64_t r1);
+  /// Specialized-block-size weighted cross forward over pairs [p0, p1)
+  /// (see BlockPairWeightedCrossInto); returns false when `block` has
+  /// no specialization at this level so the caller falls back to the
+  /// generic loop.
+  using BlockCrossFwdFn = bool (*)(int64_t block, const double* fd,
+                                   const double* wd, double* od, int64_t n,
+                                   int64_t fcols,
+                                   const std::pair<int64_t, int64_t>* pd,
+                                   int64_t p0, int64_t p1);
+  /// Specialized-block-size dw-only backward over rows [r0, r1) (see
+  /// BlockPairWeightedCrossGradInto); returns false when `block` has no
+  /// specialization at this level.
+  using BlockCrossGradDwFn = bool (*)(int64_t block, const double* gd,
+                                      const double* fd, double* dwd,
+                                      int64_t fcols,
+                                      const std::pair<int64_t, int64_t>* pd,
+                                      int64_t num_pairs, int64_t r0,
+                                      int64_t r1);
+
+  /// Matmul tile kernel of this level.
+  MatmulRowsFn matmul_rows;
+  /// MatmulTransA tile kernel of this level.
+  MatmulTransARowsFn matmul_trans_a_rows;
+  /// MatmulTransB tile kernel of this level.
+  MatmulTransBRowsFn matmul_trans_b_rows;
+  /// Specialized block-pair weighted-cross forward of this level.
+  BlockCrossFwdFn block_cross_fwd;
+  /// Specialized block-pair dw-only backward of this level.
+  BlockCrossGradDwFn block_cross_grad_dw;
+};
+
+/// The kernel table of one Isa level. Levels not compiled into this
+/// binary alias the baseline table (but ActiveIsa can never resolve to
+/// them — see MaxSupportedIsa). Exposed so tests can compare levels
+/// directly without flipping process state.
+const LinalgKernels& LinalgKernelsForIsa(Isa isa);
+
+/// The table of the currently active ISA (one atomic load + array
+/// index; called once per public linalg entry point, not per tile).
+const LinalgKernels& ActiveLinalgKernels();
+
+}  // namespace sbrl
+
+#endif  // SBRL_TENSOR_KERNELS_H_

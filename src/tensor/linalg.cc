@@ -5,298 +5,26 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "tensor/kernels.h"
 
 namespace sbrl {
 
 namespace {
 
-// The j-panel keeps a (k x kJBlock) slab of B hot in L2 across every
-// row of an i-range.
-constexpr int64_t kJBlock = 128;
 constexpr int64_t kTransposeTile = 32;
 
-// Compile-time-specialized inner kernels of the block-diagonal cross
-// ops: the runtime `block` (= SbrlConfig::rff_features, default 5) is
-// small, so the generic loops spend as much time on loop control as on
-// arithmetic. Dispatching the common sizes to a template instantiation
-// lets the compiler fully unroll the block x block body and keep the
-// per-pair accumulators in registers. Each output element receives its
-// terms in exactly the same ascending order as the generic loop, so
-// specialized and generic paths are bitwise identical.
+// The arithmetic inner loops (matmul row tiles and the specialized
+// block-cross kernels) live in per-ISA translation units behind the
+// LinalgKernels table (tensor/kernels.h): every public entry point
+// below fetches ActiveLinalgKernels() once and hands disjoint output
+// tiles to the resolved kernels. Shape checks, serial cutoffs, and
+// ParallelFor chunking stay here, identical for every ISA level, so
+// tile/block boundaries never depend on the resolved vector width.
 
-/// Forward pairs [p0, p1): out block p += sum_i w_i u_a(i,:)^T u_b(i,:)
-/// with the (B x B) accumulator held in registers across the row sweep
-/// and flushed once. Flushing "+=" onto the zero-initialized output
-/// reproduces the generic element-by-element accumulation bitwise
-/// (both start the sum at +0.0 and add the same terms in order).
-template <int64_t B>
-void BlockCrossFwdPairsKernel(const double* __restrict fd,
-                              const double* __restrict wd,
-                              double* __restrict od, int64_t n,
-                              int64_t fcols,
-                              const std::pair<int64_t, int64_t>* pd,
-                              int64_t p0, int64_t p1) {
-  for (int64_t p = p0; p < p1; ++p) {
-    const int64_t ca = pd[p].first * B;
-    const int64_t cb = pd[p].second * B;
-    double acc[B * B] = {};
-    for (int64_t i = 0; i < n; ++i) {
-      const double* frow = fd + i * fcols;
-      const double wi = wd[i];
-      const double* arow = frow + ca;
-      const double* brow = frow + cb;
-      for (int64_t r = 0; r < B; ++r) {
-        const double av = arow[r] * wi;
-        for (int64_t c = 0; c < B; ++c) acc[r * B + c] += av * brow[c];
-      }
-    }
-    double* oblock = od + p * B * B;
-    for (int64_t e = 0; e < B * B; ++e) oblock[e] += acc[e];
-  }
-}
-
-/// Weight-gradient-only backward over rows [r0, r1): the hot case of
-/// the decorrelation loss, where the stacked features are tape
-/// constants and only dw is needed. dw_i = sum_p u_a(i,:) g_p u_b(i,:)^T
-/// (the sample weight itself does not enter its own gradient). Same
-/// flat ascending-p summation as the generic loop, minus its per-
-/// element df branch.
-template <int64_t B>
-void BlockCrossGradDwRowsKernel(const double* __restrict gd,
-                                const double* __restrict fd,
-                                double* __restrict dwd, int64_t fcols,
-                                const std::pair<int64_t, int64_t>* pd,
-                                int64_t num_pairs, int64_t r0, int64_t r1) {
-  for (int64_t i = r0; i < r1; ++i) {
-    const double* frow = fd + i * fcols;
-    double dw_acc = 0.0;
-    for (int64_t p = 0; p < num_pairs; ++p) {
-      const double* arow = frow + pd[p].first * B;
-      const double* brow = frow + pd[p].second * B;
-      const double* gblock = gd + p * B * B;
-      for (int64_t r = 0; r < B; ++r) {
-        const double* grow = gblock + r * B;
-        double s = 0.0;
-        for (int64_t c = 0; c < B; ++c) s += grow[c] * brow[c];
-        dw_acc += arow[r] * s;
-      }
-    }
-    dwd[i] += dw_acc;
-  }
-}
-
-/// Specialized-size dispatch for the two kernels above; returns false
-/// when `block` has no instantiation (callers fall back to the generic
-/// loop). 3..5 covers the test grid and the paper default k = 5; 8 the
-/// wider-feature configs.
-bool BlockCrossFwdDispatch(int64_t block, const double* fd,
-                           const double* wd, double* od, int64_t n,
-                           int64_t fcols,
-                           const std::pair<int64_t, int64_t>* pd,
-                           int64_t p0, int64_t p1) {
-  switch (block) {
-    case 3: BlockCrossFwdPairsKernel<3>(fd, wd, od, n, fcols, pd, p0, p1);
-            return true;
-    case 4: BlockCrossFwdPairsKernel<4>(fd, wd, od, n, fcols, pd, p0, p1);
-            return true;
-    case 5: BlockCrossFwdPairsKernel<5>(fd, wd, od, n, fcols, pd, p0, p1);
-            return true;
-    case 8: BlockCrossFwdPairsKernel<8>(fd, wd, od, n, fcols, pd, p0, p1);
-            return true;
-    default: return false;
-  }
-}
-
-bool BlockCrossGradDwDispatch(int64_t block, const double* gd,
-                              const double* fd, double* dwd, int64_t fcols,
-                              const std::pair<int64_t, int64_t>* pd,
-                              int64_t num_pairs, int64_t r0, int64_t r1) {
-  switch (block) {
-    case 3: BlockCrossGradDwRowsKernel<3>(gd, fd, dwd, fcols, pd,
-                                          num_pairs, r0, r1);
-            return true;
-    case 4: BlockCrossGradDwRowsKernel<4>(gd, fd, dwd, fcols, pd,
-                                          num_pairs, r0, r1);
-            return true;
-    case 5: BlockCrossGradDwRowsKernel<5>(gd, fd, dwd, fcols, pd,
-                                          num_pairs, r0, r1);
-            return true;
-    case 8: BlockCrossGradDwRowsKernel<8>(gd, fd, dwd, fcols, pd,
-                                          num_pairs, r0, r1);
-            return true;
-    default: return false;
-  }
-}
-
-// See common/thread_pool.h: shared serial-inline threshold.
-constexpr int64_t kSerialCutoff = kParallelSerialCutoff;
-
-/// Rows per parallel chunk so one chunk carries ~kSerialCutoff flops.
+/// Rows per parallel chunk so one chunk carries ~SerialCutoff() flops.
 int64_t GrainRows(int64_t flops_per_row) {
-  return std::max<int64_t>(1, kSerialCutoff / std::max<int64_t>(1, flops_per_row));
-}
-
-// The hot kernels live in free functions with __restrict parameters
-// rather than inside the ParallelFor lambdas: stores through a pointer
-// captured in a closure could alias the closure itself, which blocks
-// vectorization and register-caching of the loop state.
-
-/// Rows [r0, r1) of out += a * b. Blocked: a j-panel of B is reused
-/// across every row of the range, rows are unrolled 4-wide so each B
-/// load feeds four rows, and the k loop is unrolled 4-wide with the
-/// output element held in a register across the four multiply-adds.
-/// Each output element receives its k terms one at a time in ascending
-/// order, so the result is identical to the naive i-k-j reference on a
-/// zeroed output, independent of tiling and thread count.
-void MatmulRowsKernel(const double* __restrict ad, const double* __restrict bd,
-                      double* __restrict od, int64_t k, int64_t m, int64_t r0,
-                      int64_t r1) {
-  for (int64_t jb = 0; jb < m; jb += kJBlock) {
-    const int64_t je = std::min(jb + kJBlock, m);
-    int64_t i = r0;
-    for (; i + 4 <= r1; i += 4) {
-      const double* a0 = ad + i * k;
-      const double* a1 = a0 + k;
-      const double* a2 = a1 + k;
-      const double* a3 = a2 + k;
-      double* o0 = od + i * m;
-      double* o1 = o0 + m;
-      double* o2 = o1 + m;
-      double* o3 = o2 + m;
-      int64_t p = 0;
-      for (; p + 4 <= k; p += 4) {
-        const double* br0 = bd + p * m;
-        const double* br1 = br0 + m;
-        const double* br2 = br1 + m;
-        const double* br3 = br2 + m;
-        for (int64_t j = jb; j < je; ++j) {
-          const double b0 = br0[j], b1 = br1[j], b2 = br2[j], b3 = br3[j];
-          double x0 = o0[j];
-          x0 += a0[p] * b0; x0 += a0[p + 1] * b1;
-          x0 += a0[p + 2] * b2; x0 += a0[p + 3] * b3;
-          o0[j] = x0;
-          double x1 = o1[j];
-          x1 += a1[p] * b0; x1 += a1[p + 1] * b1;
-          x1 += a1[p + 2] * b2; x1 += a1[p + 3] * b3;
-          o1[j] = x1;
-          double x2 = o2[j];
-          x2 += a2[p] * b0; x2 += a2[p + 1] * b1;
-          x2 += a2[p + 2] * b2; x2 += a2[p + 3] * b3;
-          o2[j] = x2;
-          double x3 = o3[j];
-          x3 += a3[p] * b0; x3 += a3[p + 1] * b1;
-          x3 += a3[p + 2] * b2; x3 += a3[p + 3] * b3;
-          o3[j] = x3;
-        }
-      }
-      for (; p < k; ++p) {
-        const double* brow = bd + p * m;
-        const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-        for (int64_t j = jb; j < je; ++j) {
-          const double bv = brow[j];
-          o0[j] += v0 * bv;
-          o1[j] += v1 * bv;
-          o2[j] += v2 * bv;
-          o3[j] += v3 * bv;
-        }
-      }
-    }
-    for (; i < r1; ++i) {
-      const double* arow = ad + i * k;
-      double* orow = od + i * m;
-      int64_t p = 0;
-      for (; p + 4 <= k; p += 4) {
-        const double* br0 = bd + p * m;
-        const double* br1 = br0 + m;
-        const double* br2 = br1 + m;
-        const double* br3 = br2 + m;
-        const double v0 = arow[p], v1 = arow[p + 1];
-        const double v2 = arow[p + 2], v3 = arow[p + 3];
-        for (int64_t j = jb; j < je; ++j) {
-          double x = orow[j];
-          x += v0 * br0[j]; x += v1 * br1[j];
-          x += v2 * br2[j]; x += v3 * br3[j];
-          orow[j] = x;
-        }
-      }
-      for (; p < k; ++p) {
-        const double* brow = bd + p * m;
-        const double av = arow[p];
-        for (int64_t j = jb; j < je; ++j) orow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-/// Rows [r0, r1) of out += a^T * b where a is (k x n): the reduction
-/// index p stays outermost and ascending for every element.
-void MatmulTransARowsKernel(const double* __restrict ad,
-                            const double* __restrict bd,
-                            double* __restrict od, int64_t k, int64_t n,
-                            int64_t m, int64_t r0, int64_t r1) {
-  for (int64_t p = 0; p < k; ++p) {
-    const double* acol = ad + p * n;
-    const double* brow = bd + p * m;
-    for (int64_t i = r0; i < r1; ++i) {
-      const double av = acol[i];
-      double* orow = od + i * m;
-      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-/// Rows [r0, r1) of out += a * b^T where b is (m x k). 2x2 micro-kernel:
-/// each loaded A/B row segment feeds two dot products; accumulators are
-/// per-element, k ascending.
-void MatmulTransBRowsKernel(const double* __restrict ad,
-                            const double* __restrict bd,
-                            double* __restrict od, int64_t k, int64_t m,
-                            int64_t r0, int64_t r1) {
-  int64_t i = r0;
-  for (; i + 2 <= r1; i += 2) {
-    const double* a0 = ad + i * k;
-    const double* a1 = a0 + k;
-    double* o0 = od + i * m;
-    double* o1 = o0 + m;
-    int64_t j = 0;
-    for (; j + 2 <= m; j += 2) {
-      const double* b0 = bd + j * k;
-      const double* b1 = b0 + k;
-      double acc00 = 0.0, acc01 = 0.0, acc10 = 0.0, acc11 = 0.0;
-      for (int64_t p = 0; p < k; ++p) {
-        const double a0p = a0[p], a1p = a1[p];
-        const double b0p = b0[p], b1p = b1[p];
-        acc00 += a0p * b0p;
-        acc01 += a0p * b1p;
-        acc10 += a1p * b0p;
-        acc11 += a1p * b1p;
-      }
-      o0[j] += acc00;
-      o0[j + 1] += acc01;
-      o1[j] += acc10;
-      o1[j + 1] += acc11;
-    }
-    for (; j < m; ++j) {
-      const double* brow = bd + j * k;
-      double acc0 = 0.0, acc1 = 0.0;
-      for (int64_t p = 0; p < k; ++p) {
-        acc0 += a0[p] * brow[p];
-        acc1 += a1[p] * brow[p];
-      }
-      o0[j] += acc0;
-      o1[j] += acc1;
-    }
-  }
-  for (; i < r1; ++i) {
-    const double* arow = ad + i * k;
-    double* orow = od + i * m;
-    for (int64_t j = 0; j < m; ++j) {
-      const double* brow = bd + j * k;
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] += acc;
-    }
-  }
+  return std::max<int64_t>(
+      1, SerialCutoff() / std::max<int64_t>(1, flops_per_row));
 }
 
 }  // namespace
@@ -315,12 +43,13 @@ void MatmulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   // Small products skip thread dispatch entirely (no std::function is
   // even constructed): the HSIC weight loss issues tens of thousands of
   // tiny matmuls per training run.
-  if (n * k * m <= kSerialCutoff) {
-    MatmulRowsKernel(ad, bd, od, k, m, 0, n);
+  const auto kernel = ActiveLinalgKernels().matmul_rows;
+  if (n * k * m <= SerialCutoff()) {
+    kernel(ad, bd, od, k, m, 0, n);
     return;
   }
   ParallelFor(0, n, GrainRows(k * m), [=](int64_t r0, int64_t r1) {
-    MatmulRowsKernel(ad, bd, od, k, m, r0, r1);
+    kernel(ad, bd, od, k, m, r0, r1);
   });
 }
 
@@ -363,13 +92,14 @@ void MatmulTransAInto(const Matrix& a, const Matrix& b, Matrix* out) {
   const double* ad = a.data();
   const double* bd = b.data();
   double* od = out->data();
-  if (n * k * m <= kSerialCutoff) {
-    MatmulTransARowsKernel(ad, bd, od, k, n, m, 0, n);
+  const auto kernel = ActiveLinalgKernels().matmul_trans_a_rows;
+  if (n * k * m <= SerialCutoff()) {
+    kernel(ad, bd, od, k, n, m, 0, n);
     return;
   }
   // Threads own disjoint ranges of output rows (columns of A).
   ParallelFor(0, n, GrainRows(k * m), [=](int64_t r0, int64_t r1) {
-    MatmulTransARowsKernel(ad, bd, od, k, n, m, r0, r1);
+    kernel(ad, bd, od, k, n, m, r0, r1);
   });
 }
 
@@ -420,7 +150,7 @@ void BlockPairMatmulTransAInto(
     }
   };
   const int64_t flops_per_pair = n * block * block;
-  if (num_pairs * flops_per_pair <= kSerialCutoff) {
+  if (num_pairs * flops_per_pair <= SerialCutoff()) {
     run_pairs(0, num_pairs);
     return;
   }
@@ -478,7 +208,7 @@ void BlockPairMatmulTransAGradInto(
       }
     }
   };
-  if (n * flops_per_row <= kSerialCutoff) {
+  if (n * flops_per_row <= SerialCutoff()) {
     run_rows(0, n);
     return;
   }
@@ -507,12 +237,14 @@ void BlockPairWeightedCrossInto(
   double* od = out->data();
   const int64_t fcols = f.cols();
   const std::pair<int64_t, int64_t>* pd = pairs.data();
-  // Specialized block sizes run the fully unrolled register-accumulator
-  // kernel; other sizes fall back to the generic loop. Both accumulate
-  // each output element's row terms in the same ascending order, so the
-  // paths are bitwise identical (and == sliced MatmulTransA).
+  // Specialized block sizes run the resolved ISA's register-accumulator
+  // kernel; other sizes fall back to the generic loop. All paths
+  // accumulate each output element's row terms in the same ascending
+  // order, so they are bitwise identical across specializations AND
+  // ISA levels (and == sliced MatmulTransA).
+  const auto block_cross_fwd = ActiveLinalgKernels().block_cross_fwd;
   const auto run_pairs = [=](int64_t p0, int64_t p1) {
-    if (BlockCrossFwdDispatch(block, fd, wd, od, n, fcols, pd, p0, p1)) {
+    if (block_cross_fwd(block, fd, wd, od, n, fcols, pd, p0, p1)) {
       return;
     }
     for (int64_t p = p0; p < p1; ++p) {
@@ -532,7 +264,7 @@ void BlockPairWeightedCrossInto(
     }
   };
   const int64_t flops_per_pair = n * block * block;
-  if (num_pairs * flops_per_pair <= kSerialCutoff) {
+  if (num_pairs * flops_per_pair <= SerialCutoff()) {
     run_pairs(0, num_pairs);
     return;
   }
@@ -563,12 +295,16 @@ void BlockPairWeightedCrossGradInto(
   const int64_t flops_per_row = num_pairs * block * block;
   // The decorrelation loss differentiates only through the sample
   // weight (the stacked features are tape constants), so the dw-only
-  // case gets a dedicated branch-free specialized kernel; the general
-  // case keeps the fused loop. Summation orders are identical.
+  // case gets a dedicated branch-free kernel from the resolved ISA
+  // table; the general case keeps the fused loop. The baseline dw
+  // kernel keeps the generic summation order bitwise; wider ISAs
+  // regroup the dot products (deterministic within a level, bounded
+  // against baseline — see tensor/kernels.h).
+  const auto block_cross_grad_dw = ActiveLinalgKernels().block_cross_grad_dw;
   const auto run_rows = [=](int64_t r0, int64_t r1) {
     if (dfd == nullptr && dwd != nullptr &&
-        BlockCrossGradDwDispatch(block, gd, fd, dwd, fcols, pd, num_pairs,
-                                 r0, r1)) {
+        block_cross_grad_dw(block, gd, fd, dwd, fcols, pd, num_pairs,
+                            r0, r1)) {
       return;
     }
     for (int64_t i = r0; i < r1; ++i) {
@@ -598,7 +334,7 @@ void BlockPairWeightedCrossGradInto(
       if (dwd != nullptr) dwd[i] += dw_acc;
     }
   };
-  if (n * flops_per_row <= kSerialCutoff) {
+  if (n * flops_per_row <= SerialCutoff()) {
     run_rows(0, n);
     return;
   }
@@ -616,12 +352,13 @@ void MatmulTransBInto(const Matrix& a, const Matrix& b, Matrix* out) {
   const double* ad = a.data();
   const double* bd = b.data();
   double* od = out->data();
-  if (n * k * m <= kSerialCutoff) {
-    MatmulTransBRowsKernel(ad, bd, od, k, m, 0, n);
+  const auto kernel = ActiveLinalgKernels().matmul_trans_b_rows;
+  if (n * k * m <= SerialCutoff()) {
+    kernel(ad, bd, od, k, m, 0, n);
     return;
   }
   ParallelFor(0, n, GrainRows(k * m), [=](int64_t r0, int64_t r1) {
-    MatmulTransBRowsKernel(ad, bd, od, k, m, r0, r1);
+    kernel(ad, bd, od, k, m, r0, r1);
   });
 }
 
@@ -636,7 +373,7 @@ Matrix Transpose(const Matrix& a) {
   Matrix out(m, n);
   const double* ad = a.data();
   double* od = out.data();
-  if (n * m <= kSerialCutoff) {
+  if (n * m <= SerialCutoff()) {
     for (int64_t r = 0; r < n; ++r) {
       for (int64_t c = 0; c < m; ++c) od[c * n + r] = ad[r * m + c];
     }
@@ -703,11 +440,11 @@ Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
   Matrix out(a.rows(), a.cols());
   const double* ad = a.data();
   double* od = out.data();
-  if (a.size() <= kSerialCutoff) {
+  if (a.size() <= SerialCutoff()) {
     for (int64_t i = 0; i < a.size(); ++i) od[i] = f(ad[i]);
     return out;
   }
-  ParallelFor(0, a.size(), kSerialCutoff,
+  ParallelFor(0, a.size(), SerialCutoff(),
               [ad, od, &f](int64_t lo, int64_t hi) {
                 for (int64_t i = lo; i < hi; ++i) od[i] = f(ad[i]);
               });
@@ -809,7 +546,7 @@ Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
       }
     }
   };
-  if (n * m <= kSerialCutoff) {
+  if (n * m <= SerialCutoff()) {
     fill_rows(0, n);
   } else {
     ParallelFor(0, n, GrainRows(m), fill_rows);

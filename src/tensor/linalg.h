@@ -27,7 +27,9 @@ Matrix MatmulTransB(const Matrix& a, const Matrix& b);
 /// Callers that want `out = a * b` pass a zeroed buffer (Tape/MatrixPool
 /// buffers arrive zeroed).
 void MatmulInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// Accumulating in-place a^T * b (see MatmulInto for the contract).
 void MatmulTransAInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// Accumulating in-place a * b^T (see MatmulInto for the contract).
 void MatmulTransBInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Batched block cross-products for the HSIC-RFF pair loss. `a` and `b`

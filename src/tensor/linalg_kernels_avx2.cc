@@ -1,0 +1,329 @@
+// AVX2 (x86-64-v3) kernel set of the ISA-dispatch tables. Compiled with
+// -march=x86-64-v3 -ffp-contract=off (see CMakeLists.txt): the contract
+// flag matters — GCC lowers _mm256_add_pd(_mm256_mul_pd(x, y), z) to a
+// source-level (x*y)+z vector expression and would otherwise fuse it
+// into an FMA, silently changing bits.
+//
+// Determinism split (tensor/kernels.h):
+//  - MatmulRows / MatmulTransARows / BlockCrossFwd vectorize ONLY the
+//    independent output dimension and keep each output element's
+//    multiply-then-add chain in the baseline's ascending reduction
+//    order, so they are bitwise identical to the baseline kernels
+//    (vector lanes are IEEE-correctly-rounded per element, exactly like
+//    the scalar ops). Scalar tails repeat the same chain.
+//  - MatmulTransBRows / BlockCrossGradDw are dot-product shaped: lanes
+//    accumulate with explicit FMA and collapse through a fixed-shape
+//    horizontal sum, so they agree with baseline to rounding only
+//    (bounded by tests/cpu_dispatch_test.cc) but are deterministic and
+//    chunk-invariant within this level: every output element is
+//    computed by the identical operation sequence no matter how
+//    ParallelFor split the range.
+
+#include "tensor/kernels_impl.h"
+
+#if defined(SBRL_HAVE_ISA_AVX2) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace sbrl {
+namespace linalg_kernels {
+
+namespace {
+
+// Same j-panel width as the baseline kernel: a (k x 128) slab of B
+// stays hot in L2 across the rows of an i-range.
+constexpr int64_t kJBlock = 128;
+
+/// Fixed-shape horizontal sum: (v0 + v2) + (v1 + v3). Every dot-shaped
+/// kernel in this file collapses its lanes through this exact tree, so
+/// a given element's bits never depend on the call site.
+inline double Hsum256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);  // (v0+v2, v1+v3)
+  const __m128d swap = _mm_unpackhi_pd(pair, pair);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, swap));
+}
+
+}  // namespace
+
+// The matmul tile kernel is the shared baseline SOURCE, auto-vectorized
+// at this TU's -march level — measured faster here than a hand-written
+// register-accumulator AVX kernel (whose serialized accumulator chains
+// defeat out-of-order overlap across tiles) and bitwise identical to
+// baseline by construction.
+#define SBRL_MATMUL_ROWS_KERNEL_NAME Avx2MatmulRows
+#include "tensor/matmul_rows_kernel.inc"
+#undef SBRL_MATMUL_ROWS_KERNEL_NAME
+
+void Avx2MatmulTransARows(const double* __restrict ad,
+                          const double* __restrict bd, double* __restrict od,
+                          int64_t k, int64_t n, int64_t m, int64_t r0,
+                          int64_t r1) {
+  // Baseline loop order (p outermost-ascending), vector lanes over the
+  // independent j dimension.
+  for (int64_t p = 0; p < k; ++p) {
+    const double* acol = ad + p * n;
+    const double* brow = bd + p * m;
+    for (int64_t i = r0; i < r1; ++i) {
+      const __m256d av = _mm256_set1_pd(acol[i]);
+      double* orow = od + i * m;
+      int64_t j = 0;
+      for (; j + 4 <= m; j += 4) {
+        const __m256d bv = _mm256_loadu_pd(brow + j);
+        const __m256d ov = _mm256_loadu_pd(orow + j);
+        _mm256_storeu_pd(orow + j, _mm256_add_pd(ov, _mm256_mul_pd(av, bv)));
+      }
+      const double avs = acol[i];
+      for (; j < m; ++j) orow[j] += avs * brow[j];
+    }
+  }
+}
+
+namespace {
+
+/// One (i, j) dot product over k: FMA lanes ascending p, Hsum256, then
+/// the scalar remainder added last — the fixed evaluation order of
+/// every TransB output element at this level.
+inline double DotAvx2(const double* __restrict a, const double* __restrict b,
+                      int64_t k) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + p), _mm256_loadu_pd(b + p),
+                          acc);
+  }
+  double total = Hsum256(acc);
+  for (; p < k; ++p) total += a[p] * b[p];
+  return total;
+}
+
+}  // namespace
+
+void Avx2MatmulTransBRows(const double* __restrict ad,
+                          const double* __restrict bd, double* __restrict od,
+                          int64_t k, int64_t m, int64_t r0, int64_t r1) {
+  // 2x2 blocks share the A/B row loads; every element runs the same
+  // DotAvx2 sequence, so the blocked and remainder paths agree bitwise.
+  int64_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const double* a0 = ad + i * k;
+    const double* a1 = a0 + k;
+    double* o0 = od + i * m;
+    double* o1 = o0 + m;
+    int64_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+      const double* b0 = bd + j * k;
+      const double* b1 = b0 + k;
+      o0[j] += DotAvx2(a0, b0, k);
+      o0[j + 1] += DotAvx2(a0, b1, k);
+      o1[j] += DotAvx2(a1, b0, k);
+      o1[j + 1] += DotAvx2(a1, b1, k);
+    }
+    for (; j < m; ++j) {
+      const double* brow = bd + j * k;
+      o0[j] += DotAvx2(a0, brow, k);
+      o1[j] += DotAvx2(a1, brow, k);
+    }
+  }
+  for (; i < r1; ++i) {
+    const double* arow = ad + i * k;
+    double* orow = od + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      orow[j] += DotAvx2(arow, bd + j * k, k);
+    }
+  }
+}
+
+namespace {
+
+/// Forward weighted cross for B = 4: per pair, four 4-lane register
+/// accumulators swept over the rows in ascending order (bitwise the
+/// baseline chain) and flushed once.
+void BlockCrossFwd4(const double* __restrict fd, const double* __restrict wd,
+                    double* __restrict od, int64_t n, int64_t fcols,
+                    const std::pair<int64_t, int64_t>* pd, int64_t p0,
+                    int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * 4;
+    const int64_t cb = pd[p].second * 4;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd();
+    for (int64_t i = 0; i < n; ++i) {
+      const double* frow = fd + i * fcols;
+      const double wi = wd[i];
+      const double* arow = frow + ca;
+      const __m256d bv = _mm256_loadu_pd(frow + cb);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(_mm256_set1_pd(arow[0] * wi), bv));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_set1_pd(arow[1] * wi), bv));
+      acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(_mm256_set1_pd(arow[2] * wi), bv));
+      acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(_mm256_set1_pd(arow[3] * wi), bv));
+    }
+    double* ob = od + p * 16;
+    _mm256_storeu_pd(ob, _mm256_add_pd(_mm256_loadu_pd(ob), acc0));
+    _mm256_storeu_pd(ob + 4, _mm256_add_pd(_mm256_loadu_pd(ob + 4), acc1));
+    _mm256_storeu_pd(ob + 8, _mm256_add_pd(_mm256_loadu_pd(ob + 8), acc2));
+    _mm256_storeu_pd(ob + 12, _mm256_add_pd(_mm256_loadu_pd(ob + 12), acc3));
+  }
+}
+
+/// Forward weighted cross for B = 5: a 4-lane vector plus one scalar
+/// column per output row, same ascending-row chains as baseline.
+void BlockCrossFwd5(const double* __restrict fd, const double* __restrict wd,
+                    double* __restrict od, int64_t n, int64_t fcols,
+                    const std::pair<int64_t, int64_t>* pd, int64_t p0,
+                    int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * 5;
+    const int64_t cb = pd[p].second * 5;
+    __m256d accv[5];
+    double accs[5];
+    for (int r = 0; r < 5; ++r) {
+      accv[r] = _mm256_setzero_pd();
+      accs[r] = 0.0;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const double* frow = fd + i * fcols;
+      const double wi = wd[i];
+      const double* arow = frow + ca;
+      const double* brow = frow + cb;
+      const __m256d bv = _mm256_loadu_pd(brow);
+      const double b4 = brow[4];
+      for (int r = 0; r < 5; ++r) {
+        const double av = arow[r] * wi;
+        accv[r] = _mm256_add_pd(accv[r], _mm256_mul_pd(_mm256_set1_pd(av), bv));
+        accs[r] += av * b4;
+      }
+    }
+    double* ob = od + p * 25;
+    for (int r = 0; r < 5; ++r) {
+      double* orow = ob + r * 5;
+      _mm256_storeu_pd(orow, _mm256_add_pd(_mm256_loadu_pd(orow), accv[r]));
+      orow[4] += accs[r];
+    }
+  }
+}
+
+/// Forward weighted cross for B = 8: two column-half passes per pair so
+/// the eight row accumulators of each half fit the register file. Each
+/// output element still receives its row terms in one ascending chain.
+void BlockCrossFwd8(const double* __restrict fd, const double* __restrict wd,
+                    double* __restrict od, int64_t n, int64_t fcols,
+                    const std::pair<int64_t, int64_t>* pd, int64_t p0,
+                    int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * 8;
+    const int64_t cb = pd[p].second * 8;
+    for (int half = 0; half < 2; ++half) {
+      const int64_t coff = cb + half * 4;
+      __m256d acc[8];
+      for (int r = 0; r < 8; ++r) acc[r] = _mm256_setzero_pd();
+      for (int64_t i = 0; i < n; ++i) {
+        const double* frow = fd + i * fcols;
+        const double wi = wd[i];
+        const double* arow = frow + ca;
+        const __m256d bv = _mm256_loadu_pd(frow + coff);
+        for (int r = 0; r < 8; ++r) {
+          acc[r] = _mm256_add_pd(
+              acc[r], _mm256_mul_pd(_mm256_set1_pd(arow[r] * wi), bv));
+        }
+      }
+      double* ob = od + p * 64 + half * 4;
+      for (int r = 0; r < 8; ++r) {
+        double* orow = ob + r * 8;
+        _mm256_storeu_pd(orow, _mm256_add_pd(_mm256_loadu_pd(orow), acc[r]));
+      }
+    }
+  }
+}
+
+/// dw-only backward, vector core shared by B in {4, 5, 8}: per pair,
+/// the gradient block is transposed once (it is constant across the row
+/// range), then every row computes S_r = sum_c g(r, c) b(c) as an
+/// ascending-c FMA chain over column vectors and collapses
+/// sum_r a(r) S_r through Hsum256. dwd[i] accumulates one pair
+/// contribution at a time (ascending p), which regroups the baseline's
+/// flat sum — tolerance-bounded, chunk-invariant.
+template <int B>
+void BlockCrossGradDwImpl(const double* __restrict gd,
+                          const double* __restrict fd, double* __restrict dwd,
+                          int64_t fcols, const std::pair<int64_t, int64_t>* pd,
+                          int64_t num_pairs, int64_t r0, int64_t r1) {
+  static_assert(B == 4 || B == 5 || B == 8, "unsupported block");
+  for (int64_t p = 0; p < num_pairs; ++p) {
+    const int64_t ca = pd[p].first * B;
+    const int64_t cb = pd[p].second * B;
+    const double* gblock = gd + p * B * B;
+    // gt[c][r] = g(r, c): column c of the block as a contiguous row.
+    double gt[B * B];
+    for (int r = 0; r < B; ++r) {
+      for (int c = 0; c < B; ++c) gt[c * B + r] = gblock[r * B + c];
+    }
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* frow = fd + i * fcols;
+      const double* arow = frow + ca;
+      const double* brow = frow + cb;
+      __m256d s_lo = _mm256_setzero_pd();          // S_r for r = 0..3
+      __m256d s_hi = _mm256_setzero_pd();          // S_r for r = 4..7
+      double s4 = 0.0;                             // S_4 when B == 5
+      for (int c = 0; c < B; ++c) {
+        const __m256d bc = _mm256_set1_pd(brow[c]);
+        const double* gcol = gt + c * B;
+        s_lo = _mm256_fmadd_pd(bc, _mm256_loadu_pd(gcol), s_lo);
+        if (B == 8) {
+          s_hi = _mm256_fmadd_pd(bc, _mm256_loadu_pd(gcol + 4), s_hi);
+        } else if (B == 5) {
+          s4 += brow[c] * gcol[4];
+        }
+      }
+      __m256d acc = _mm256_mul_pd(_mm256_loadu_pd(arow), s_lo);
+      if (B == 8) {
+        acc = _mm256_fmadd_pd(_mm256_loadu_pd(arow + 4), s_hi, acc);
+      }
+      double contrib = Hsum256(acc);
+      if (B == 5) contrib += arow[4] * s4;
+      dwd[i] += contrib;
+    }
+  }
+}
+
+}  // namespace
+
+bool Avx2BlockCrossFwd(int64_t block, const double* fd, const double* wd,
+                       double* od, int64_t n, int64_t fcols,
+                       const std::pair<int64_t, int64_t>* pd, int64_t p0,
+                       int64_t p1) {
+  switch (block) {
+    case 4: BlockCrossFwd4(fd, wd, od, n, fcols, pd, p0, p1); return true;
+    case 5: BlockCrossFwd5(fd, wd, od, n, fcols, pd, p0, p1); return true;
+    case 8: BlockCrossFwd8(fd, wd, od, n, fcols, pd, p0, p1); return true;
+    default: return false;  // kernels.cc falls back to baseline
+  }
+}
+
+bool Avx2BlockCrossGradDw(int64_t block, const double* gd, const double* fd,
+                          double* dwd, int64_t fcols,
+                          const std::pair<int64_t, int64_t>* pd,
+                          int64_t num_pairs, int64_t r0, int64_t r1) {
+  switch (block) {
+    case 4:
+      BlockCrossGradDwImpl<4>(gd, fd, dwd, fcols, pd, num_pairs, r0, r1);
+      return true;
+    case 5:
+      BlockCrossGradDwImpl<5>(gd, fd, dwd, fcols, pd, num_pairs, r0, r1);
+      return true;
+    case 8:
+      BlockCrossGradDwImpl<8>(gd, fd, dwd, fcols, pd, num_pairs, r0, r1);
+      return true;
+    default: return false;
+  }
+}
+
+}  // namespace linalg_kernels
+}  // namespace sbrl
+
+#endif  // SBRL_HAVE_ISA_AVX2 && __AVX2__ && __FMA__

@@ -1,0 +1,308 @@
+// AVX-512 (x86-64-v4) kernel set of the ISA-dispatch tables. Compiled
+// with -march=x86-64-v4 -ffp-contract=off; see linalg_kernels_avx2.cc
+// for why the contract flag is load-bearing. Same determinism split:
+// MatmulRows / MatmulTransARows / BlockCrossFwd are bitwise identical
+// to baseline (8-lane zmm over the independent output dimension,
+// separate multiply and add, scalar tails repeating the same chain);
+// MatmulTransBRows / BlockCrossGradDw collapse FMA lanes through
+// _mm512_reduce_add_pd — a fixed reduction tree per build — so they
+// are deterministic and chunk-invariant within this level but agree
+// with baseline only to rounding.
+
+#include "tensor/kernels_impl.h"
+
+#if defined(SBRL_HAVE_ISA_AVX512) && defined(__AVX512F__) && \
+    defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace sbrl {
+namespace linalg_kernels {
+
+namespace {
+
+// Same j-panel width as the baseline kernel.
+constexpr int64_t kJBlock = 128;
+
+/// Lane mask selecting the low 5 doubles of a zmm — the B = 5 block
+/// kernels below keep 5-wide rows in masked 8-lane registers.
+constexpr __mmask8 kMask5 = 0x1F;
+
+}  // namespace
+
+// The matmul tile kernel is the shared baseline SOURCE, auto-vectorized
+// at this TU's -march level; see linalg_kernels_avx2.cc for why this
+// beats a hand-written register-accumulator kernel.
+#define SBRL_MATMUL_ROWS_KERNEL_NAME Avx512MatmulRows
+#include "tensor/matmul_rows_kernel.inc"
+#undef SBRL_MATMUL_ROWS_KERNEL_NAME
+
+void Avx512MatmulTransARows(const double* __restrict ad,
+                            const double* __restrict bd, double* __restrict od,
+                            int64_t k, int64_t n, int64_t m, int64_t r0,
+                            int64_t r1) {
+  for (int64_t p = 0; p < k; ++p) {
+    const double* acol = ad + p * n;
+    const double* brow = bd + p * m;
+    for (int64_t i = r0; i < r1; ++i) {
+      const __m512d av = _mm512_set1_pd(acol[i]);
+      double* orow = od + i * m;
+      int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        const __m512d bv = _mm512_loadu_pd(brow + j);
+        const __m512d ov = _mm512_loadu_pd(orow + j);
+        _mm512_storeu_pd(orow + j, _mm512_add_pd(ov, _mm512_mul_pd(av, bv)));
+      }
+      const double avs = acol[i];
+      for (; j < m; ++j) orow[j] += avs * brow[j];
+    }
+  }
+}
+
+namespace {
+
+/// One (i, j) dot product over k: 8-lane FMA chain ascending p,
+/// _mm512_reduce_add_pd, then the scalar remainder added last.
+inline double DotAvx512(const double* __restrict a, const double* __restrict b,
+                        int64_t k) {
+  __m512d acc = _mm512_setzero_pd();
+  int64_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    acc = _mm512_fmadd_pd(_mm512_loadu_pd(a + p), _mm512_loadu_pd(b + p),
+                          acc);
+  }
+  double total = _mm512_reduce_add_pd(acc);
+  for (; p < k; ++p) total += a[p] * b[p];
+  return total;
+}
+
+}  // namespace
+
+void Avx512MatmulTransBRows(const double* __restrict ad,
+                            const double* __restrict bd, double* __restrict od,
+                            int64_t k, int64_t m, int64_t r0, int64_t r1) {
+  int64_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const double* a0 = ad + i * k;
+    const double* a1 = a0 + k;
+    double* o0 = od + i * m;
+    double* o1 = o0 + m;
+    int64_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+      const double* b0 = bd + j * k;
+      const double* b1 = b0 + k;
+      o0[j] += DotAvx512(a0, b0, k);
+      o0[j + 1] += DotAvx512(a0, b1, k);
+      o1[j] += DotAvx512(a1, b0, k);
+      o1[j + 1] += DotAvx512(a1, b1, k);
+    }
+    for (; j < m; ++j) {
+      const double* brow = bd + j * k;
+      o0[j] += DotAvx512(a0, brow, k);
+      o1[j] += DotAvx512(a1, brow, k);
+    }
+  }
+  for (; i < r1; ++i) {
+    const double* arow = ad + i * k;
+    double* orow = od + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      orow[j] += DotAvx512(arow, bd + j * k, k);
+    }
+  }
+}
+
+namespace {
+
+/// Forward weighted cross for B = 4 (256-bit lanes; VL encodings keep
+/// IEEE semantics, so the chain is bitwise the baseline's).
+void BlockCrossFwd4(const double* __restrict fd, const double* __restrict wd,
+                    double* __restrict od, int64_t n, int64_t fcols,
+                    const std::pair<int64_t, int64_t>* pd, int64_t p0,
+                    int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * 4;
+    const int64_t cb = pd[p].second * 4;
+    __m256d acc[4];
+    for (int r = 0; r < 4; ++r) acc[r] = _mm256_setzero_pd();
+    for (int64_t i = 0; i < n; ++i) {
+      const double* frow = fd + i * fcols;
+      const double wi = wd[i];
+      const double* arow = frow + ca;
+      const __m256d bv = _mm256_loadu_pd(frow + cb);
+      for (int r = 0; r < 4; ++r) {
+        acc[r] = _mm256_add_pd(
+            acc[r], _mm256_mul_pd(_mm256_set1_pd(arow[r] * wi), bv));
+      }
+    }
+    double* ob = od + p * 16;
+    for (int r = 0; r < 4; ++r) {
+      double* orow = ob + r * 4;
+      _mm256_storeu_pd(orow, _mm256_add_pd(_mm256_loadu_pd(orow), acc[r]));
+    }
+  }
+}
+
+/// Forward weighted cross for B = 5: masked 8-lane rows, five register
+/// accumulators per pair, ascending-row chains bitwise the baseline's.
+void BlockCrossFwd5(const double* __restrict fd, const double* __restrict wd,
+                    double* __restrict od, int64_t n, int64_t fcols,
+                    const std::pair<int64_t, int64_t>* pd, int64_t p0,
+                    int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * 5;
+    const int64_t cb = pd[p].second * 5;
+    __m512d acc[5];
+    for (int r = 0; r < 5; ++r) acc[r] = _mm512_setzero_pd();
+    for (int64_t i = 0; i < n; ++i) {
+      const double* frow = fd + i * fcols;
+      const double wi = wd[i];
+      const double* arow = frow + ca;
+      const __m512d bv = _mm512_maskz_loadu_pd(kMask5, frow + cb);
+      for (int r = 0; r < 5; ++r) {
+        acc[r] = _mm512_add_pd(
+            acc[r], _mm512_mul_pd(_mm512_set1_pd(arow[r] * wi), bv));
+      }
+    }
+    double* ob = od + p * 25;
+    for (int r = 0; r < 5; ++r) {
+      double* orow = ob + r * 5;
+      const __m512d ov = _mm512_maskz_loadu_pd(kMask5, orow);
+      _mm512_mask_storeu_pd(orow, kMask5, _mm512_add_pd(ov, acc[r]));
+    }
+  }
+}
+
+/// Forward weighted cross for B = 8: one zmm accumulator per output
+/// row, the natural shape of this level.
+void BlockCrossFwd8(const double* __restrict fd, const double* __restrict wd,
+                    double* __restrict od, int64_t n, int64_t fcols,
+                    const std::pair<int64_t, int64_t>* pd, int64_t p0,
+                    int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * 8;
+    const int64_t cb = pd[p].second * 8;
+    __m512d acc[8];
+    for (int r = 0; r < 8; ++r) acc[r] = _mm512_setzero_pd();
+    for (int64_t i = 0; i < n; ++i) {
+      const double* frow = fd + i * fcols;
+      const double wi = wd[i];
+      const double* arow = frow + ca;
+      const __m512d bv = _mm512_loadu_pd(frow + cb);
+      for (int r = 0; r < 8; ++r) {
+        acc[r] = _mm512_add_pd(
+            acc[r], _mm512_mul_pd(_mm512_set1_pd(arow[r] * wi), bv));
+      }
+    }
+    double* ob = od + p * 64;
+    for (int r = 0; r < 8; ++r) {
+      double* orow = ob + r * 8;
+      _mm512_storeu_pd(orow, _mm512_add_pd(_mm512_loadu_pd(orow), acc[r]));
+    }
+  }
+}
+
+/// dw-only backward for B in {4, 5, 8}: per pair, transpose the
+/// gradient block once, then every row builds S_r = sum_c g(r, c) b(c)
+/// as an ascending-c FMA chain over column vectors and collapses
+/// sum_r a(r) S_r through the fixed _mm512_reduce_add_pd tree.
+/// dwd[i] accumulates one pair contribution at a time (ascending p) —
+/// tolerance-bounded against baseline, chunk-invariant within level.
+template <int B>
+void BlockCrossGradDwImpl(const double* __restrict gd,
+                          const double* __restrict fd, double* __restrict dwd,
+                          int64_t fcols, const std::pair<int64_t, int64_t>* pd,
+                          int64_t num_pairs, int64_t r0, int64_t r1) {
+  static_assert(B == 5 || B == 8, "unsupported block");
+  const __mmask8 mask = B == 8 ? static_cast<__mmask8>(0xFF) : kMask5;
+  for (int64_t p = 0; p < num_pairs; ++p) {
+    const int64_t ca = pd[p].first * B;
+    const int64_t cb = pd[p].second * B;
+    const double* gblock = gd + p * B * B;
+    double gt[B * B];
+    for (int r = 0; r < B; ++r) {
+      for (int c = 0; c < B; ++c) gt[c * B + r] = gblock[r * B + c];
+    }
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* frow = fd + i * fcols;
+      const double* brow = frow + cb;
+      __m512d s = _mm512_setzero_pd();
+      for (int c = 0; c < B; ++c) {
+        const __m512d gcol = _mm512_maskz_loadu_pd(mask, gt + c * B);
+        s = _mm512_fmadd_pd(_mm512_set1_pd(brow[c]), gcol, s);
+      }
+      const __m512d av = _mm512_maskz_loadu_pd(mask, frow + ca);
+      dwd[i] += _mm512_reduce_add_pd(_mm512_mul_pd(av, s));
+    }
+  }
+}
+
+/// dw-only backward for B = 4 with 256-bit lanes and the AVX2
+/// fixed-shape horizontal sum (v0+v2)+(v1+v3).
+void BlockCrossGradDw4(const double* __restrict gd,
+                       const double* __restrict fd, double* __restrict dwd,
+                       int64_t fcols, const std::pair<int64_t, int64_t>* pd,
+                       int64_t num_pairs, int64_t r0, int64_t r1) {
+  for (int64_t p = 0; p < num_pairs; ++p) {
+    const int64_t ca = pd[p].first * 4;
+    const int64_t cb = pd[p].second * 4;
+    const double* gblock = gd + p * 16;
+    double gt[16];
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) gt[c * 4 + r] = gblock[r * 4 + c];
+    }
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* frow = fd + i * fcols;
+      const double* brow = frow + cb;
+      __m256d s = _mm256_setzero_pd();
+      for (int c = 0; c < 4; ++c) {
+        s = _mm256_fmadd_pd(_mm256_set1_pd(brow[c]),
+                            _mm256_loadu_pd(gt + c * 4), s);
+      }
+      const __m256d acc = _mm256_mul_pd(_mm256_loadu_pd(frow + ca), s);
+      const __m128d lo = _mm256_castpd256_pd128(acc);
+      const __m128d hi = _mm256_extractf128_pd(acc, 1);
+      const __m128d pair = _mm_add_pd(lo, hi);
+      const __m128d swap = _mm_unpackhi_pd(pair, pair);
+      dwd[i] += _mm_cvtsd_f64(_mm_add_sd(pair, swap));
+    }
+  }
+}
+
+}  // namespace
+
+bool Avx512BlockCrossFwd(int64_t block, const double* fd, const double* wd,
+                         double* od, int64_t n, int64_t fcols,
+                         const std::pair<int64_t, int64_t>* pd, int64_t p0,
+                         int64_t p1) {
+  switch (block) {
+    case 4: BlockCrossFwd4(fd, wd, od, n, fcols, pd, p0, p1); return true;
+    case 5: BlockCrossFwd5(fd, wd, od, n, fcols, pd, p0, p1); return true;
+    case 8: BlockCrossFwd8(fd, wd, od, n, fcols, pd, p0, p1); return true;
+    default: return false;  // kernels.cc falls back to baseline
+  }
+}
+
+bool Avx512BlockCrossGradDw(int64_t block, const double* gd, const double* fd,
+                            double* dwd, int64_t fcols,
+                            const std::pair<int64_t, int64_t>* pd,
+                            int64_t num_pairs, int64_t r0, int64_t r1) {
+  switch (block) {
+    case 4:
+      BlockCrossGradDw4(gd, fd, dwd, fcols, pd, num_pairs, r0, r1);
+      return true;
+    case 5:
+      BlockCrossGradDwImpl<5>(gd, fd, dwd, fcols, pd, num_pairs, r0, r1);
+      return true;
+    case 8:
+      BlockCrossGradDwImpl<8>(gd, fd, dwd, fcols, pd, num_pairs, r0, r1);
+      return true;
+    default: return false;
+  }
+}
+
+}  // namespace linalg_kernels
+}  // namespace sbrl
+
+#endif  // SBRL_HAVE_ISA_AVX512 && __AVX512F__ && __AVX512VL__

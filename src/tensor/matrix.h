@@ -45,20 +45,28 @@ class Matrix {
   /// Builds a (1 x n) row vector from a flat vector.
   static Matrix RowVector(const std::vector<double>& values);
 
+  /// All-zero matrix of shape (rows x cols).
   static Matrix Zeros(int64_t rows, int64_t cols) {
     return Matrix(rows, cols);
   }
+  /// All-one matrix of shape (rows x cols).
   static Matrix Ones(int64_t rows, int64_t cols) {
     return Matrix(rows, cols, 1.0);
   }
+  /// Matrix of shape (rows x cols) with every element `v`.
   static Matrix Constant(int64_t rows, int64_t cols, double v) {
     return Matrix(rows, cols, v);
   }
+  /// The (n x n) identity matrix.
   static Matrix Identity(int64_t n);
 
+  /// Number of rows.
   int64_t rows() const { return rows_; }
+  /// Number of columns.
   int64_t cols() const { return cols_; }
+  /// Total element count (rows * cols).
   int64_t size() const { return rows_ * cols_; }
+  /// True when the matrix holds no elements.
   bool empty() const { return size() == 0; }
 
   /// True if shape is exactly (1 x 1).
@@ -70,10 +78,12 @@ class Matrix {
     return data_[0];
   }
 
+  /// Element access by (row, column); bounds-DCHECKed.
   double& operator()(int64_t r, int64_t c) {
     SBRL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r * cols_ + c)];
   }
+  /// See the mutable overload.
   double operator()(int64_t r, int64_t c) const {
     SBRL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r * cols_ + c)];
@@ -84,14 +94,18 @@ class Matrix {
     SBRL_DCHECK(i >= 0 && i < size());
     return data_[static_cast<size_t>(i)];
   }
+  /// See the mutable overload.
   double operator[](int64_t i) const {
     SBRL_DCHECK(i >= 0 && i < size());
     return data_[static_cast<size_t>(i)];
   }
 
+  /// Raw pointer to the contiguous row-major storage.
   double* data() { return data_.data(); }
+  /// See the mutable overload.
   const double* data() const { return data_.data(); }
 
+  /// True when `other` has the same (rows x cols) shape.
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
@@ -113,7 +127,9 @@ class Matrix {
 
   /// In-place elementwise operations (shape must match exactly).
   Matrix& operator+=(const Matrix& other);
+  /// See operator+=.
   Matrix& operator-=(const Matrix& other);
+  /// In-place multiplication of every element by `s`.
   Matrix& operator*=(double s);
 
   /// Elementwise arithmetic (shape must match exactly).
@@ -128,6 +144,7 @@ class Matrix {
   double Mean() const;
   /// Maximum / minimum element; CHECK-fails on empty matrices.
   double MaxValue() const;
+  /// See MaxValue.
   double MinValue() const;
   /// Frobenius norm.
   double Norm() const;

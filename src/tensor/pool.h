@@ -41,6 +41,7 @@ class MatrixPool {
   int64_t free_count() const { return free_count_; }
   /// Acquires served from the free list / via fresh allocation.
   int64_t reuse_count() const { return reuse_count_; }
+  /// Acquires that had to allocate fresh storage.
   int64_t alloc_count() const { return alloc_count_; }
 
  private:

@@ -14,6 +14,7 @@ namespace sbrl {
 /// Rng so experiments and tests are exactly reproducible from a seed.
 class Rng {
  public:
+  /// Generator seeded deterministically with `seed`.
   explicit Rng(uint64_t seed) : engine_(seed) {}
 
   /// Uniform double in [lo, hi).
@@ -45,6 +46,7 @@ class Rng {
   /// replication / module its own stream without coupling.
   Rng Fork();
 
+  /// Direct access to the underlying engine (for std distributions).
   std::mt19937_64& engine() { return engine_; }
 
  private:

@@ -1,0 +1,340 @@
+// Coverage of the runtime ISA-dispatch layer (common/cpu.h +
+// tensor/kernels.h + the per-ISA cosine sweep):
+//
+//  - cpuid feature detection is internally consistent and agrees with
+//    the resolvable ISA levels,
+//  - the SBRL_ISA grammar round-trips and the resolution rule
+//    (env > config > auto, clamped to the host) holds, both through
+//    the pure ResolveIsa and through SetActiveIsa process state,
+//  - the kernels with a bitwise cross-ISA contract (Matmul,
+//    MatmulTransA, the block-cross forward) are EXACTLY equal across
+//    every supported level, and the dot-shaped kernels (MatmulTransB,
+//    the dw backward) stay within a tight tolerance of baseline,
+//  - every level's vectorized cosine stays within the documented
+//    4-ulp bound of std::cos,
+//  - within a level, results are bitwise invariant to the worker
+//    count (the determinism contract, re-proven per ISA).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "tensor/kernels.h"
+#include "tensor/linalg.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace {
+
+/// Clears any SBRL_ISA pin for the whole binary (restoring it on
+/// teardown): the env outranks every SetActiveIsa choice by design, so
+/// a stray operator pin would otherwise fail the forced-level tests
+/// spuriously. The isa_baseline ctest variants deliberately do NOT
+/// cover this suite for the same reason.
+class ClearIsaEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    const char* saved = std::getenv("SBRL_ISA");
+    had_value_ = saved != nullptr;
+    if (had_value_) saved_ = saved;
+    unsetenv("SBRL_ISA");
+    SetActiveIsa(IsaChoice::kAuto);
+  }
+  void TearDown() override {
+    if (had_value_) setenv("SBRL_ISA", saved_.c_str(), 1);
+    SetActiveIsa(IsaChoice::kAuto);
+  }
+
+ private:
+  bool had_value_ = false;
+  std::string saved_;
+};
+
+const ::testing::Environment* const kClearIsaEnv =
+    ::testing::AddGlobalTestEnvironment(new ClearIsaEnv);
+
+/// Units-in-the-last-place distance (same helper as simd_test).
+int64_t UlpDiff(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) return INT64_MAX;
+  int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if (ia < 0) ia = INT64_MIN - ia;
+  if (ib < 0) ib = INT64_MIN - ib;
+  const int64_t d = ia - ib;
+  return d < 0 ? -d : d;
+}
+
+/// Every level this binary + host can actually run.
+std::vector<Isa> SupportedIsas() {
+  std::vector<Isa> isas = {Isa::kBaseline};
+  if (Isa::kAvx2 <= MaxSupportedIsa()) isas.push_back(Isa::kAvx2);
+  if (Isa::kAvx512 <= MaxSupportedIsa()) isas.push_back(Isa::kAvx512);
+  return isas;
+}
+
+/// RAII guard: forces a level for one scope, restores auto after.
+class IsaGuard {
+ public:
+  explicit IsaGuard(Isa isa) {
+    EXPECT_EQ(SetActiveIsa(static_cast<IsaChoice>(static_cast<int>(isa))),
+              isa);
+  }
+  ~IsaGuard() { SetActiveIsa(IsaChoice::kAuto); }
+};
+
+TEST(CpuFeaturesTest, DetectionIsConsistent) {
+  const CpuFeatures& f = DetectCpuFeatures();
+  // Derived bits imply their prerequisites the resolver relies on.
+  if (f.avx2) EXPECT_TRUE(f.avx);
+  if (f.avx512dq || f.avx512bw || f.avx512vl) EXPECT_TRUE(f.avx512f);
+  // The resolvable levels require the matching feature sets.
+  if (MaxSupportedIsa() >= Isa::kAvx2) {
+    EXPECT_TRUE(f.avx2);
+    EXPECT_TRUE(f.fma);
+  }
+  if (MaxSupportedIsa() >= Isa::kAvx512) {
+    EXPECT_TRUE(f.avx512f && f.avx512dq && f.avx512bw && f.avx512vl);
+  }
+  // The feature string mentions avx2 iff detected.
+  const std::string s = CpuFeatureString();
+  EXPECT_EQ(s.find("avx2") != std::string::npos, f.avx2);
+}
+
+TEST(IsaNamesTest, RoundTrip) {
+  for (IsaChoice c : {IsaChoice::kAuto, IsaChoice::kBaseline,
+                      IsaChoice::kAvx2, IsaChoice::kAvx512}) {
+    IsaChoice parsed;
+    ASSERT_TRUE(ParseIsaChoice(IsaChoiceName(c), &parsed));
+    EXPECT_EQ(parsed, c);
+  }
+  IsaChoice parsed;
+  EXPECT_FALSE(ParseIsaChoice("sse9", &parsed));
+  EXPECT_FALSE(ParseIsaChoice("", &parsed));
+  EXPECT_STREQ(IsaName(Isa::kBaseline), "baseline");
+  EXPECT_STREQ(IsaName(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(IsaName(Isa::kAvx512), "avx512");
+}
+
+TEST(ResolveIsaTest, EnvBeatsConfigAndClampsToHost) {
+  // auto -> the maximum; concrete requests clamp down, never up.
+  EXPECT_EQ(ResolveIsa(IsaChoice::kAuto, nullptr, Isa::kAvx512),
+            Isa::kAvx512);
+  EXPECT_EQ(ResolveIsa(IsaChoice::kAuto, nullptr, Isa::kBaseline),
+            Isa::kBaseline);
+  EXPECT_EQ(ResolveIsa(IsaChoice::kBaseline, nullptr, Isa::kAvx512),
+            Isa::kBaseline);
+  EXPECT_EQ(ResolveIsa(IsaChoice::kAvx512, nullptr, Isa::kAvx2),
+            Isa::kAvx2);
+  // A valid env wins over the config choice...
+  EXPECT_EQ(ResolveIsa(IsaChoice::kAvx512, "baseline", Isa::kAvx512),
+            Isa::kBaseline);
+  EXPECT_EQ(ResolveIsa(IsaChoice::kBaseline, "auto", Isa::kAvx2),
+            Isa::kAvx2);
+  // ...but still clamps, and an unparseable env is ignored.
+  EXPECT_EQ(ResolveIsa(IsaChoice::kBaseline, "avx512", Isa::kAvx2),
+            Isa::kAvx2);
+  EXPECT_EQ(ResolveIsa(IsaChoice::kBaseline, "pentium", Isa::kAvx512),
+            Isa::kBaseline);
+  EXPECT_EQ(ResolveIsa(IsaChoice::kAuto, "", Isa::kAvx2), Isa::kAvx2);
+}
+
+TEST(ActiveIsaTest, SetAndEnvRoundTrip) {
+  const char* saved = std::getenv("SBRL_ISA");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  for (Isa isa : SupportedIsas()) {
+    EXPECT_EQ(SetActiveIsa(static_cast<IsaChoice>(static_cast<int>(isa))),
+              isa);
+    EXPECT_EQ(ActiveIsa(), isa);
+  }
+  // The environment overrides any config choice on the next resolve.
+  ASSERT_EQ(setenv("SBRL_ISA", "baseline", /*overwrite=*/1), 0);
+  EXPECT_EQ(SetActiveIsa(IsaChoice::kAuto), Isa::kBaseline);
+  EXPECT_EQ(SetActiveIsa(static_cast<IsaChoice>(
+                static_cast<int>(MaxSupportedIsa()))),
+            Isa::kBaseline);
+
+  if (saved == nullptr) {
+    unsetenv("SBRL_ISA");
+  } else {
+    setenv("SBRL_ISA", saved_value.c_str(), 1);
+  }
+  SetActiveIsa(IsaChoice::kAuto);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-ISA agreement of the kernel tables.
+// ---------------------------------------------------------------------------
+
+TEST(CrossIsaTest, MatmulAndTransABitwiseIdenticalAcrossLevels) {
+  Rng rng(301);
+  // Shapes straddling the vector widths, panels, and row unrolls.
+  const std::vector<std::array<int64_t, 3>> shapes = {
+      {1, 1, 1}, {5, 7, 3}, {67, 33, 129}, {64, 16, 130}, {129, 5, 9}};
+  for (const auto& s : shapes) {
+    Matrix a = rng.Randn(s[0], s[1]);
+    Matrix b = rng.Randn(s[1], s[2]);
+    Matrix at = Transpose(a);  // (k x n) for the TransA kernel
+    Matrix want(s[0], s[2]), want_ta(s[0], s[2]);
+    const LinalgKernels& base = LinalgKernelsForIsa(Isa::kBaseline);
+    base.matmul_rows(a.data(), b.data(), want.data(), s[1], s[2], 0, s[0]);
+    base.matmul_trans_a_rows(at.data(), b.data(), want_ta.data(), s[1],
+                             s[0], s[2], 0, s[0]);
+    for (Isa isa : SupportedIsas()) {
+      const LinalgKernels& t = LinalgKernelsForIsa(isa);
+      Matrix got(s[0], s[2]), got_ta(s[0], s[2]);
+      t.matmul_rows(a.data(), b.data(), got.data(), s[1], s[2], 0, s[0]);
+      t.matmul_trans_a_rows(at.data(), b.data(), got_ta.data(), s[1], s[0],
+                            s[2], 0, s[0]);
+      for (int64_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << IsaName(isa) << " matmul flat index " << i;
+        ASSERT_EQ(want_ta[i], got_ta[i])
+            << IsaName(isa) << " transA flat index " << i;
+      }
+    }
+  }
+}
+
+TEST(CrossIsaTest, TransBWithinToleranceOfBaseline) {
+  Rng rng(302);
+  const std::vector<std::array<int64_t, 3>> shapes = {
+      {1, 1, 1}, {5, 7, 3}, {67, 33, 29}, {63, 8, 130}};
+  for (const auto& s : shapes) {
+    Matrix a = rng.Randn(s[0], s[1]);
+    Matrix bt = rng.Randn(s[2], s[1]);  // (m x k)
+    Matrix want(s[0], s[2]);
+    LinalgKernelsForIsa(Isa::kBaseline)
+        .matmul_trans_b_rows(a.data(), bt.data(), want.data(), s[1], s[2],
+                             0, s[0]);
+    for (Isa isa : SupportedIsas()) {
+      Matrix got(s[0], s[2]);
+      LinalgKernelsForIsa(isa).matmul_trans_b_rows(
+          a.data(), bt.data(), got.data(), s[1], s[2], 0, s[0]);
+      EXPECT_TRUE(AllClose(want, got, 1e-12))
+          << IsaName(isa) << " at " << s[0] << "x" << s[1] << "x" << s[2];
+      // Re-running the same level reproduces the same bits
+      // (within-level determinism).
+      Matrix again(s[0], s[2]);
+      LinalgKernelsForIsa(isa).matmul_trans_b_rows(
+          a.data(), bt.data(), again.data(), s[1], s[2], 0, s[0]);
+      EXPECT_TRUE(AllClose(got, again, 0.0)) << IsaName(isa);
+    }
+  }
+}
+
+TEST(CrossIsaTest, BlockCrossFwdBitwiseAndGradDwBounded) {
+  Rng rng(303);
+  const int64_t n = 120, d = 6;
+  for (int64_t block : {3, 4, 5, 8}) {
+    Matrix f = rng.Randn(n, d * block);
+    Matrix w = rng.Rand(n, 1, 0.5, 2.0);
+    std::vector<std::pair<int64_t, int64_t>> pairs = {
+        {0, 1}, {2, 5}, {4, 4}, {5, 0}, {1, 3}};
+    const int64_t np = static_cast<int64_t>(pairs.size());
+    Matrix g = rng.Randn(np * block, block);
+
+    Matrix want(np * block, block);
+    Matrix want_dw(n, 1);
+    const LinalgKernels& base = LinalgKernelsForIsa(Isa::kBaseline);
+    ASSERT_TRUE(base.block_cross_fwd(block, f.data(), w.data(), want.data(),
+                                     n, f.cols(), pairs.data(), 0, np));
+    ASSERT_TRUE(base.block_cross_grad_dw(block, g.data(), f.data(),
+                                         want_dw.data(), f.cols(),
+                                         pairs.data(), np, 0, n));
+    for (Isa isa : SupportedIsas()) {
+      const LinalgKernels& t = LinalgKernelsForIsa(isa);
+      Matrix got(np * block, block);
+      Matrix got_dw(n, 1);
+      ASSERT_TRUE(t.block_cross_fwd(block, f.data(), w.data(), got.data(),
+                                    n, f.cols(), pairs.data(), 0, np));
+      ASSERT_TRUE(t.block_cross_grad_dw(block, g.data(), f.data(),
+                                        got_dw.data(), f.cols(),
+                                        pairs.data(), np, 0, n));
+      // Forward: exact bitwise equality at every level.
+      for (int64_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << IsaName(isa) << " block " << block << " flat " << i;
+      }
+      // dw: regrouped dot products, tight relative tolerance.
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got_dw[i], want_dw[i],
+                    1e-11 * std::max(1.0, std::abs(want_dw[i])))
+            << IsaName(isa) << " block " << block << " row " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-ISA cosine sweep: accuracy bound and worker-count invariance.
+// ---------------------------------------------------------------------------
+
+TEST(CrossIsaTest, VecCosWithinUlpBoundAtEveryLevel) {
+  const int64_t n = 10000;
+  std::vector<double> xs(n), ys(n);
+  Rng rng(304);
+  for (int64_t i = 0; i < n; ++i) {
+    xs[i] = rng.Normal(0.0, 10.0);
+  }
+  xs[0] = 0.0;
+  xs[1] = -0.0;
+  xs[2] = 3.14159265358979312;
+  xs[3] = 1e300;
+  for (Isa isa : SupportedIsas()) {
+    IsaGuard guard(isa);
+    VecCos(xs.data(), ys.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_LE(UlpDiff(std::cos(xs[i]), ys[i]), kVecCosMaxUlp)
+          << IsaName(isa) << " at x = " << xs[i];
+    }
+  }
+}
+
+TEST(CrossIsaTest, ResultsBitwiseInvariantToWorkerCountPerLevel) {
+  Rng rng(305);
+  // Big enough that the parallel paths engage (> 64K flops / elements).
+  Matrix a = rng.Randn(96, 96);
+  Matrix b = rng.Randn(96, 96);
+  std::vector<double> angles(20000);
+  for (auto& v : angles) v = rng.Normal(0.0, 5.0);
+
+  for (Isa isa : SupportedIsas()) {
+    IsaGuard guard(isa);
+    Matrix mm_serial, mm_parallel;
+    std::vector<double> cos_serial = angles, cos_parallel = angles;
+
+    ThreadPool::ResetGlobalForTest(0);
+    mm_serial = Matmul(a, b);
+    ScaledCosInPlace(cos_serial.data(),
+                     static_cast<int64_t>(cos_serial.size()), 2.0,
+                     CosineMode::kVectorized);
+    ThreadPool::ResetGlobalForTest(2);
+    mm_parallel = Matmul(a, b);
+    ScaledCosInPlace(cos_parallel.data(),
+                     static_cast<int64_t>(cos_parallel.size()), 2.0,
+                     CosineMode::kVectorized);
+    ThreadPool::ResetGlobalForTest(0);
+
+    EXPECT_TRUE(AllClose(mm_serial, mm_parallel, 0.0)) << IsaName(isa);
+    for (size_t i = 0; i < angles.size(); ++i) {
+      ASSERT_EQ(cos_serial[i], cos_parallel[i])
+          << IsaName(isa) << " element " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbrl
