@@ -25,11 +25,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "common/timer.h"
+#include "core/checkpoint.h"
 #include "data/ihdp.h"
 #include "harness.h"
 
@@ -93,6 +95,11 @@ void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
       g_json->Record(spec.name(), fit_timer.ElapsedSeconds());
       g_json->Record(spec.name() + "/net_step",
                      estimator->diagnostics().net_step_seconds);
+      // Divergence-recovery bookkeeping cost (non-finite scans plus the
+      // last-good snapshot capture). Target: under 1% of the method's
+      // total fit time — the README "Failure handling" budget.
+      g_json->Record(spec.name() + "/health",
+                     estimator->diagnostics().health_seconds);
       if (config.framework != FrameworkKind::kVanilla) {
         g_json->Record(spec.name() + "/weight_step",
                        estimator->diagnostics().weight_step_seconds);
@@ -105,6 +112,42 @@ void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
   state.SetLabel(spec.name());
 }
 
+// Measures checkpoint persistence latency on the heaviest method
+// (CFR+SBRL-HAP): trains with a checkpoint cadence of one save per
+// iteration, records the mean per-save wall time as "checkpoint/save"
+// and a full LoadCheckpoint of the final state as "checkpoint/load".
+void CheckpointIo(benchmark::State& state) {
+  Scale scale = GetScale();
+  if (scale.name == "default") scale.iterations = 80;
+  IhdpConfig data_config;
+  RealWorldSplits splits = MakeIhdpReplication(data_config, 111);
+  const MethodSpec spec{BackboneKind::kCfr, FrameworkKind::kSbrlHap};
+  const std::string path = "bench_table6_checkpoint.ckpt.tmp";
+  for (auto _ : state) {
+    EstimatorConfig config = WithMethod(BaseConfig(scale, 112), spec);
+    config.train.eval_every = 0;
+    config.train.checkpoint_path = path;
+    config.train.checkpoint_every = 1;
+    auto estimator = HteEstimator::Create(config);
+    SBRL_CHECK(estimator.ok());
+    SBRL_CHECK(estimator->Fit(splits.train, &splits.valid).ok());
+    const TrainDiagnostics& diag = estimator->diagnostics();
+    SBRL_CHECK_EQ(diag.checkpoint_failures, 0);
+    // One save per iteration plus the final end-of-training save.
+    const double saves = static_cast<double>(config.train.iterations + 1);
+    if (g_json != nullptr) {
+      g_json->Record("checkpoint/save", diag.checkpoint_seconds / saves);
+      Timer load_timer;
+      StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+      SBRL_CHECK(loaded.ok()) << loaded.status().ToString();
+      g_json->Record("checkpoint/load", load_timer.ElapsedSeconds());
+    }
+    benchmark::DoNotOptimize(estimator->PredictAte(splits.test.x));
+  }
+  std::remove(path.c_str());
+  state.SetLabel("checkpoint_io");
+}
+
 void RegisterAll() {
   for (const MethodSpec& spec : AllNineMethods()) {
     benchmark::RegisterBenchmark(("TrainIhdp/" + spec.name()).c_str(),
@@ -115,6 +158,10 @@ void RegisterAll() {
         ->Iterations(1)
         ->MeasureProcessCPUTime();
   }
+  benchmark::RegisterBenchmark("CheckpointIo", &CheckpointIo)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1)
+      ->MeasureProcessCPUTime();
 }
 
 }  // namespace

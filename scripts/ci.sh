@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: builds the default and sanitized configurations and
-# runs the tier-1 suite (which includes the threads2 and isa_baseline
-# variants), then the sanitizer subset. Mirrors the ROADMAP verify line;
+# runs the tier-1 suite (which includes the threads2, isa_baseline, and
+# faults variants), then the sanitizer subset plus the fault drills
+# under asan/ubsan. Mirrors the ROADMAP verify line;
 # .github/workflows/ci.yml calls this script, and it runs unchanged on
 # any box with cmake + gcc/clang + gtest (google-benchmark and doxygen
 # are optional — the corresponding targets/tests skip when absent).
@@ -20,11 +21,20 @@ ctest --test-dir "${PREFIX}" -L tier1 --output-on-failure -j "${JOBS}"
 # threads2 variants are tier1-labeled too; run the label explicitly so a
 # labeling regression cannot silently drop them.
 ctest --test-dir "${PREFIX}" -L threads2 --output-on-failure -j "${JOBS}"
+# Failure-handling suite (checkpoint format lockdown + fault-injection
+# drills); tier1-labeled, but run the label explicitly for the same
+# reason as threads2.
+ctest --test-dir "${PREFIX}" -L faults --output-on-failure -j "${JOBS}"
 
 echo "=== sanitized configuration (address,undefined) ==="
 cmake -B "${PREFIX}-sanitize" -S . -DSBRL_SANITIZE=address,undefined
 cmake --build "${PREFIX}-sanitize" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-sanitize" -L sanitize --output-on-failure \
+      -j "${JOBS}"
+# The fault drills double as sanitizer stress (rollback replays the
+# same allocations; checkpoint I/O paths touch raw byte buffers) —
+# run the label under asan/ubsan as well.
+ctest --test-dir "${PREFIX}-sanitize" -L faults --output-on-failure \
       -j "${JOBS}"
 
 echo "=== CI OK ==="

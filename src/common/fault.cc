@@ -1,0 +1,142 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sbrl {
+
+namespace fault_internal {
+
+std::atomic<bool> g_armed{false};
+
+namespace {
+
+// One registry entry per fault site that has been armed or evaluated
+// while armed. `hits` counts every FaultPoint evaluation of the site;
+// the trigger compares the 0-based index of the current hit against
+// `target`.
+struct SiteEntry {
+  bool armed = false;
+  bool persistent = false;
+  int64_t target = -1;
+  int64_t hits = 0;
+  int64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteEntry> sites;
+};
+
+// Function-local static: safe against static-initialization order, and
+// never constructed in a run that neither arms nor inspects faults.
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+bool ShouldFire(const char* site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  SiteEntry& entry = registry.sites[site];
+  const int64_t index = entry.hits++;
+  if (!entry.armed) return false;
+  const bool fire =
+      entry.persistent ? index >= entry.target : index == entry.target;
+  if (fire) ++entry.fires;
+  return fire;
+}
+
+}  // namespace fault_internal
+
+void ArmFault(const std::string& site, int64_t hit, bool persistent) {
+  SBRL_CHECK_GE(hit, 0);
+  SBRL_CHECK(!site.empty());
+  auto& registry = fault_internal::GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    fault_internal::SiteEntry& entry = registry.sites[site];
+    entry = fault_internal::SiteEntry();
+    entry.armed = true;
+    entry.persistent = persistent;
+    entry.target = hit;
+  }
+  fault_internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+Status ArmFaultsFromSpec(const std::string& spec) {
+  for (const std::string& part : Split(spec, ',')) {
+    const std::string entry = StripWhitespace(part);
+    if (entry.empty()) continue;
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status::InvalidArgument("fault spec entry needs 'site:hit': '" +
+                                     entry + "'");
+    }
+    const std::string site = entry.substr(0, colon);
+    std::string hit_text = entry.substr(colon + 1);
+    bool persistent = false;
+    if (!hit_text.empty() && hit_text.back() == '+') {
+      persistent = true;
+      hit_text.pop_back();
+    }
+    char* end = nullptr;
+    const long long hit = std::strtoll(hit_text.c_str(), &end, 10);
+    if (hit_text.empty() || end == hit_text.c_str() || *end != '\0' ||
+        hit < 0) {
+      return Status::InvalidArgument(
+          "fault spec hit must be a non-negative integer: '" + entry + "'");
+    }
+    ArmFault(site, static_cast<int64_t>(hit), persistent);
+  }
+  return Status::OK();
+}
+
+void DisarmFaults() {
+  auto& registry = fault_internal::GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.sites.clear();
+  }
+  fault_internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+int64_t FaultHitCount(const std::string& site) {
+  auto& registry = fault_internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultFireCount(const std::string& site) {
+  auto& registry = fault_internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.fires;
+}
+
+namespace {
+
+// Arms the SBRL_FAULT environment spec at process start (this TU is
+// linked in whenever any fault site exists, because FaultPoint
+// references g_armed). CHECK-fails on a malformed spec: a typo'd fault
+// experiment must not silently run fault-free.
+const bool g_env_spec_armed = [] {
+  const char* env = std::getenv("SBRL_FAULT");
+  if (env != nullptr && *env != '\0') {
+    const Status status = ArmFaultsFromSpec(env);
+    SBRL_CHECK(status.ok()) << "bad SBRL_FAULT: " << status.ToString();
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace sbrl

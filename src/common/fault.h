@@ -1,0 +1,91 @@
+#ifndef SBRL_COMMON_FAULT_H_
+#define SBRL_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sbrl {
+
+/// Deterministic fault-injection registry (the failure-path test
+/// harness of docs/ARCHITECTURE.md "Failure handling & recovery").
+///
+/// Production code declares named *fault sites* — fixed points on a
+/// failure-relevant path, e.g. "trainer/nan_grad" right before the
+/// optimizer consumes the gradients, or "checkpoint/write" right
+/// before a checkpoint file is committed — by calling
+/// FaultPoint("site"). Each call is one *hit* of that site; a test (or
+/// the SBRL_FAULT environment variable) arms a site to fire at an
+/// exact hit index, and the site's code path simulates the
+/// corresponding failure (poison a gradient, fail the I/O) exactly
+/// there. Because every hot-path site is evaluated once per training
+/// iteration, the hit index IS the iteration number, which makes
+/// failure scenarios exactly reproducible: "a NaN gradient at
+/// iteration 3" is `SBRL_FAULT=trainer/nan_grad:3`.
+///
+/// Cost contract: when nothing is armed — every production run —
+/// FaultPoint is a single relaxed atomic load and a predictable
+/// branch; the registry, its mutex, and the hit counters are touched
+/// only while at least one site is armed. Arming is process-wide and
+/// intended for single-threaded test setup (arm before training,
+/// disarm after); the sites themselves may be evaluated from any
+/// thread.
+///
+/// Spec syntax (SBRL_FAULT and ArmFaultsFromSpec):
+///   site:hit        fire exactly once, at 0-based hit index `hit`
+///   site:hit+       fire at every hit >= `hit` (a persistent fault)
+/// Multiple faults are comma-separated, e.g.
+///   SBRL_FAULT="trainer/nan_grad:2,checkpoint/write:0+".
+namespace fault_internal {
+/// True while at least one fault site is armed. Relaxed is sufficient:
+/// arming happens-before the code under test by test construction.
+extern std::atomic<bool> g_armed;
+/// Slow path of FaultPoint: counts the hit and decides whether the
+/// armed entry for `site` fires at this index. Only called while armed.
+bool ShouldFire(const char* site);
+}  // namespace fault_internal
+
+/// True when at least one fault site is currently armed. The fast
+/// guard compiled into every fault site; zero-overhead when disarmed.
+inline bool FaultsArmed() {
+  return fault_internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Declares a fault site named `site` and returns true exactly when an
+/// armed fault for it fires at this hit. The caller simulates the
+/// failure on a true return. `site` must be a stable literal-like
+/// name of the form "component/failure" (see docs/ARCHITECTURE.md for
+/// the registered site list).
+inline bool FaultPoint(const char* site) {
+  return FaultsArmed() && fault_internal::ShouldFire(site);
+}
+
+/// Arms `site` to fire at 0-based hit index `hit`; with
+/// `persistent` true it fires at every hit >= `hit` instead of once.
+/// Re-arming an already-armed site replaces its trigger and resets its
+/// counters.
+void ArmFault(const std::string& site, int64_t hit, bool persistent = false);
+
+/// Parses and arms a comma-separated fault spec ("site:hit[+],...").
+/// Returns InvalidArgument (arming nothing further) on a malformed
+/// entry. The SBRL_FAULT environment variable is routed through this at
+/// process start; a malformed value aborts via SBRL_CHECK so a typo'd
+/// fault experiment cannot silently run fault-free.
+Status ArmFaultsFromSpec(const std::string& spec);
+
+/// Disarms every fault and clears all hit/fire counters. Tests call
+/// this in teardown so arming cannot leak across test cases.
+void DisarmFaults();
+
+/// Number of times `site` was evaluated while the registry was armed
+/// (the hit counter the trigger index is compared against).
+int64_t FaultHitCount(const std::string& site);
+
+/// Number of times an armed fault actually fired at `site`.
+int64_t FaultFireCount(const std::string& site);
+
+}  // namespace sbrl
+
+#endif  // SBRL_COMMON_FAULT_H_

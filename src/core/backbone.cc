@@ -94,6 +94,11 @@ void OutcomeHeads::CollectParams(std::vector<Param*>* out) {
   out1_.CollectParams(out);
 }
 
+void OutcomeHeads::CollectStateMatrices(std::vector<NamedStateRef>* out) {
+  body0_.CollectStateMatrices(out);
+  body1_.CollectStateMatrices(out);
+}
+
 std::vector<Param*> OutcomeHeads::DecayParams() {
   // Weight matrices only (Google-style: biases are not decayed, and the
   // CFR reference code applies R_l2 to head weights).

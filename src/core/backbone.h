@@ -51,6 +51,13 @@ class Backbone {
   /// All trainable parameters.
   virtual void CollectParams(std::vector<Param*>* out) = 0;
 
+  /// Appends named references to every non-Param training state matrix
+  /// (BatchNorm running statistics) so the checkpoint layer can
+  /// snapshot and restore it. Default: no state.
+  virtual void CollectStateMatrices(std::vector<NamedStateRef>* out) {
+    (void)out;
+  }
+
   /// Parameters subject to the paper's R_l2 head regularizer (outcome
   /// head weight matrices, excluding biases).
   virtual std::vector<Param*> DecayParams() = 0;
@@ -90,6 +97,9 @@ class OutcomeHeads {
 
   /// Appends all trainable parameters of both heads to `*out`.
   void CollectParams(std::vector<Param*>* out);
+  /// Appends BatchNorm running statistics of both head bodies (see
+  /// Backbone::CollectStateMatrices).
+  void CollectStateMatrices(std::vector<NamedStateRef>* out);
   /// Head weight matrices subject to the paper's R_l2 regularizer.
   std::vector<Param*> DecayParams();
 

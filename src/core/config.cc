@@ -28,6 +28,14 @@ const char* BatchedHsicModeName(BatchedHsicMode mode) {
   return "?";
 }
 
+const char* RecoveryModeName(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kOff: return "off";
+    case RecoveryMode::kRollback: return "rollback";
+  }
+  return "?";
+}
+
 std::string MethodName(BackboneKind backbone, FrameworkKind framework) {
   std::string name = BackboneName(backbone);
   if (framework != FrameworkKind::kVanilla) name += FrameworkName(framework);
@@ -66,6 +74,21 @@ Status EstimatorConfig::Validate() const {
     return Status::InvalidArgument("sbrl weight-learner settings out of "
                                    "range");
   }
+  if (sbrl.recovery_lr_backoff <= 0.0 || sbrl.recovery_lr_backoff > 1.0) {
+    return Status::InvalidArgument(
+        "sbrl.recovery_lr_backoff must be in (0, 1]");
+  }
+  if (sbrl.recovery_max_retries < 0) {
+    return Status::InvalidArgument("sbrl.recovery_max_retries must be >= 0");
+  }
+  if (sbrl.recovery_snapshot_every < 1) {
+    return Status::InvalidArgument(
+        "sbrl.recovery_snapshot_every must be >= 1");
+  }
+  if (sbrl.recovery_explosion_factor <= 1.0) {
+    return Status::InvalidArgument(
+        "sbrl.recovery_explosion_factor must be > 1");
+  }
   if (train.iterations < 1) {
     return Status::InvalidArgument("train.iterations must be >= 1");
   }
@@ -83,6 +106,14 @@ Status EstimatorConfig::Validate() const {
   }
   if (train.eval_every < 0 || train.patience < 0) {
     return Status::InvalidArgument("early-stopping settings out of range");
+  }
+  if (train.checkpoint_every < 0) {
+    return Status::InvalidArgument("train.checkpoint_every must be >= 0");
+  }
+  if (train.checkpoint_path.empty() &&
+      (train.checkpoint_every > 0 || train.resume)) {
+    return Status::InvalidArgument(
+        "checkpoint_every/resume require train.checkpoint_path");
   }
   if (dercfr.confounder_balance < 0.0 || dercfr.instrument_indep < 0.0 ||
       dercfr.orthogonality < 0.0 || dercfr.adjustment_balance < 0.0 ||

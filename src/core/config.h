@@ -43,12 +43,39 @@ enum class BatchedHsicMode {
   kBatched,  ///< block-diagonal batched kernels (default)
 };
 
+/// How SbrlTrainer responds when its health monitor detects a
+/// divergence (a non-finite loss term, a non-finite gradient digest,
+/// or a loss explosion past SbrlConfig::recovery_explosion_factor).
+///
+/// kRollback (default) restores the last healthy in-memory snapshot —
+/// parameters, optimizer moments, sample weights, BatchNorm running
+/// statistics, the rng stream, and the early-stopping state — shrinks
+/// the learning rate by SbrlConfig::recovery_lr_backoff, and replays
+/// from the restored iteration, up to
+/// SbrlConfig::recovery_max_retries rollbacks; an exhausted budget
+/// fails the run with a typed kInternal Status carrying the
+/// divergence diagnostics. kOff fails immediately on first detection.
+/// Either way Train() never returns NaN results as if they were fine:
+/// TrainDiagnostics::first_bad_iteration records the detection point.
+///
+/// The SBRL_RECOVERY environment variable ("off" / "rollback"), when
+/// set, overrides this field — the same env > config resolution the
+/// ISA knob uses. With no faults and no divergence the policy is
+/// observation-only: training under kRollback is bitwise identical to
+/// kOff (locked by tests/golden_trace_test.cc).
+enum class RecoveryMode {
+  kOff,       ///< fail fast: first detection returns kInternal
+  kRollback,  ///< roll back + LR backoff + retry (default)
+};
+
 /// Human-readable backbone name ("TARNet" / "CFR" / "DeR-CFR").
 const char* BackboneName(BackboneKind kind);
 /// Human-readable framework suffix ("vanilla" / "+SBRL" / "+SBRL-HAP").
 const char* FrameworkName(FrameworkKind kind);
 /// Human-readable BatchedHsicMode name ("exact" / "batched").
 const char* BatchedHsicModeName(BatchedHsicMode mode);
+/// Human-readable RecoveryMode name ("off" / "rollback").
+const char* RecoveryModeName(RecoveryMode mode);
 
 /// Returns e.g. "CFR+SBRL-HAP" — the method names used in the paper's
 /// tables.
@@ -155,6 +182,27 @@ struct SbrlConfig {
   /// on or off — the flag only trades memory for repeated sampling
   /// work (see RffProjectionCache in stats/rff.h).
   bool rff_projection_cache = true;
+  /// Divergence response of the training health monitor (see
+  /// RecoveryMode). Mode knob following hsic_mode / rff_cos_mode /
+  /// net_step_mode; overridable via the SBRL_RECOVERY env variable.
+  RecoveryMode recovery_mode = RecoveryMode::kRollback;
+  /// Multiplicative learning-rate shrink applied on every divergence
+  /// rollback (in (0, 1]); compounds across rollbacks and applies to
+  /// both the network and the sample-weight learning rates.
+  double recovery_lr_backoff = 0.5;
+  /// Divergence rollbacks tolerated before Train() gives up with a
+  /// kInternal Status (>= 0; 0 makes kRollback behave like kOff).
+  int64_t recovery_max_retries = 3;
+  /// Loss-explosion threshold: the run is declared divergent when
+  /// |train loss| exceeds this factor times (|first finite train
+  /// loss| + 1). Must be > 1.
+  double recovery_explosion_factor = 1e6;
+  /// Iterations between in-memory last-good snapshot captures (>= 1).
+  /// A rollback replays at most this many iterations; smaller values
+  /// lose less work per divergence but pay the snapshot copy more
+  /// often (the "/health" share of the Table VI bench, budgeted at
+  /// under 1% of fit time at the default cadence).
+  int64_t recovery_snapshot_every = 10;
   /// Learning rate of the sample-weight learner.
   double lr_w = 5e-2;
   /// Run the weight step every k-th network step.
@@ -184,6 +232,22 @@ struct TrainConfig {
   uint64_t seed = 1234;
   /// Log per-evaluation progress lines.
   bool verbose = false;
+  /// Durable-checkpoint file path; empty disables on-disk
+  /// checkpointing. Saves are atomic (temp file + rename) and
+  /// versioned/CRC-protected (see core/checkpoint.h). A failed save is
+  /// non-fatal: the trainer logs a warning, counts it in
+  /// TrainDiagnostics::checkpoint_failures, and keeps training.
+  std::string checkpoint_path;
+  /// Iterations between checkpoint saves (> 0 requires a
+  /// checkpoint_path; 0 disables periodic saves). A final checkpoint
+  /// is also written when training completes with checkpointing on.
+  int64_t checkpoint_every = 0;
+  /// Resume from checkpoint_path when it exists: restores the full
+  /// training state and continues bit-for-bit identically to an
+  /// uninterrupted run (see core/checkpoint.h). A missing file starts
+  /// fresh; an unreadable/corrupt file fails Train() instead of
+  /// silently retraining from scratch.
+  bool resume = false;
 };
 
 /// Complete configuration of an HteEstimator.

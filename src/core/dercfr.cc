@@ -178,6 +178,13 @@ void DerCfrBackbone::CollectParams(std::vector<Param*>* out) {
   weight_head_c_.CollectParams(out);
 }
 
+void DerCfrBackbone::CollectStateMatrices(std::vector<NamedStateRef>* out) {
+  i_net_.CollectStateMatrices(out);
+  c_net_.CollectStateMatrices(out);
+  a_net_.CollectStateMatrices(out);
+  heads_.CollectStateMatrices(out);
+}
+
 std::vector<Param*> DerCfrBackbone::DecayParams() {
   return heads_.DecayParams();
 }

@@ -49,6 +49,8 @@ class DerCfrBackbone : public Backbone {
 
   /// All trainable parameters of the three networks and both heads.
   void CollectParams(std::vector<Param*>* out) override;
+  /// BatchNorm running statistics of the three networks and heads.
+  void CollectStateMatrices(std::vector<NamedStateRef>* out) override;
   /// Outcome-head weight matrices subject to R_l2.
   std::vector<Param*> DecayParams() override;
   /// Covariate dimension the backbone was built for.

@@ -69,6 +69,11 @@ void TarnetBackbone::CollectParams(std::vector<Param*>* out) {
   heads_.CollectParams(out);
 }
 
+void TarnetBackbone::CollectStateMatrices(std::vector<NamedStateRef>* out) {
+  rep_net_.CollectStateMatrices(out);
+  heads_.CollectStateMatrices(out);
+}
+
 std::vector<Param*> TarnetBackbone::DecayParams() {
   return heads_.DecayParams();
 }

@@ -52,6 +52,30 @@ struct TrainDiagnostics {
   /// so perf numbers are attributable to the kernel set that produced
   /// them; BenchJsonWriter stamps the same value into BENCH_*.json.
   std::string isa;
+  /// First iteration at which the training-health monitor observed a
+  /// non-finite or exploded signal (-1: the run stayed healthy). With
+  /// recovery on, the run may still finish successfully after rolling
+  /// back from here.
+  int64_t first_bad_iteration = -1;
+  /// Divergence rollbacks performed by the recovery policy (each one
+  /// restores the last healthy snapshot and shrinks the learning rate
+  /// by SbrlConfig::recovery_lr_backoff).
+  int64_t recovery_rollbacks = 0;
+  /// Iteration this run resumed from when TrainConfig::resume loaded a
+  /// checkpoint (-1: the run started fresh).
+  int64_t resumed_from_iteration = -1;
+  /// Wall-clock seconds of `train_seconds` spent in the per-iteration
+  /// health monitor plus (when recovery is on) capturing the in-memory
+  /// rollback snapshot. BENCH_table6.json records it as
+  /// `<method>/health`; the acceptance target is < 1% of
+  /// train_seconds.
+  double health_seconds = 0.0;
+  /// Wall-clock seconds spent saving periodic disk checkpoints
+  /// (0 unless TrainConfig::checkpoint_every > 0).
+  double checkpoint_seconds = 0.0;
+  /// Periodic checkpoint saves that failed (saves are non-fatal: the
+  /// run logs a warning, counts the failure, and keeps training).
+  int64_t checkpoint_failures = 0;
 };
 
 /// Runs the paper's Algorithm 1: alternating full-batch optimization of

@@ -1,5 +1,7 @@
 #include "data/causal_dataset.h"
 
+#include <cmath>
+
 #include "tensor/linalg.h"
 
 namespace sbrl {
@@ -83,6 +85,24 @@ Status CausalDataset::Validate() const {
   }
   if (treated == n()) {
     return Status::FailedPrecondition("no control units (overlap violated)");
+  }
+  // Non-finite covariates or outcomes poison every loss and statistic
+  // downstream; catch them here rather than as a NaN training run.
+  const auto all_finite = [](const Matrix& m) {
+    for (int64_t i = 0; i < m.size(); ++i) {
+      if (!std::isfinite(m[i])) return false;
+    }
+    return true;
+  };
+  if (!all_finite(x)) {
+    return Status::InvalidArgument("covariates contain non-finite values");
+  }
+  if (!all_finite(y)) {
+    return Status::InvalidArgument("outcomes contain non-finite values");
+  }
+  if (!all_finite(mu0) || !all_finite(mu1)) {
+    return Status::InvalidArgument(
+        "potential outcomes contain non-finite values");
   }
   return Status::OK();
 }

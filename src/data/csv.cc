@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -73,6 +74,12 @@ StatusOr<CausalDataset> LoadCausalDatasetCsv(const std::string& path) {
       if (end == stripped.c_str() || *end != '\0') {
         return Status::InvalidArgument("line " + std::to_string(line_no) +
                                        ": bad number '" + f + "'");
+      }
+      // NaN/Inf parse fine through strtod but poison every downstream
+      // statistic; reject them at the boundary with the line number.
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": non-finite value '" + f + "'");
       }
       row.push_back(v);
     }

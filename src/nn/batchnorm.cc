@@ -9,7 +9,8 @@ namespace sbrl {
 
 BatchNorm::BatchNorm(const std::string& name, int64_t dim, double momentum,
                      double eps)
-    : gamma_(name + ".gamma", Matrix::Ones(1, dim)),
+    : name_(name),
+      gamma_(name + ".gamma", Matrix::Ones(1, dim)),
       beta_(name + ".beta", Matrix::Zeros(1, dim)),
       running_mean_(Matrix::Zeros(1, dim)),
       running_var_(Matrix::Ones(1, dim)),
@@ -71,6 +72,11 @@ Var BatchNorm::ForwardFusedAffine(ParamBinder& binder, const Dense& dense,
 void BatchNorm::CollectParams(std::vector<Param*>* out) {
   out->push_back(&gamma_);
   out->push_back(&beta_);
+}
+
+void BatchNorm::CollectStateMatrices(std::vector<NamedStateRef>* out) {
+  out->push_back({name_ + ".running_mean", &running_mean_});
+  out->push_back({name_ + ".running_var", &running_var_});
 }
 
 }  // namespace sbrl

@@ -37,9 +37,15 @@ class BatchNorm {
 
   void CollectParams(std::vector<Param*>* out);
 
+  /// Appends named references to the running statistics
+  /// ("<name>.running_mean" / "<name>.running_var") so the checkpoint
+  /// layer can snapshot and restore non-Param training state.
+  void CollectStateMatrices(std::vector<NamedStateRef>* out);
+
   int64_t dim() const { return gamma_.value.cols(); }
 
  private:
+  std::string name_;
   mutable Param gamma_;
   mutable Param beta_;
   // Running statistics are state, not parameters: updated in-place during

@@ -7,7 +7,7 @@ namespace sbrl {
 double ExponentialDecaySchedule::LearningRate(int64_t t) const {
   const double exponent =
       static_cast<double>(t) / static_cast<double>(decay_steps_);
-  return base_lr_ * std::pow(decay_rate_, exponent);
+  return scale_ * (base_lr_ * std::pow(decay_rate_, exponent));
 }
 
 }  // namespace sbrl

@@ -21,13 +21,28 @@ class ExponentialDecaySchedule {
     SBRL_CHECK_GT(decay_steps, 0);
   }
 
-  /// Learning rate at step `t` (continuous decay).
+  /// Learning rate at step `t` (continuous decay), times the recovery
+  /// scale. At the default scale of 1.0 the multiplication is exact
+  /// (x * 1.0 == x bitwise), so an idle recovery policy cannot perturb
+  /// training trajectories.
   double LearningRate(int64_t t) const;
+
+  /// Multiplicative recovery backoff applied on top of the decay curve
+  /// (1.0 until a divergence rollback shrinks it). This is schedule
+  /// state: the trainer checkpoints and restores it so a resumed run
+  /// sees the same learning rates as an uninterrupted one.
+  double scale() const { return scale_; }
+  /// Sets the recovery scale (must be > 0); see scale().
+  void set_scale(double scale) {
+    SBRL_CHECK_GT(scale, 0.0);
+    scale_ = scale;
+  }
 
  private:
   double base_lr_;
   double decay_rate_;
   int64_t decay_steps_;
+  double scale_ = 1.0;
 };
 
 }  // namespace sbrl

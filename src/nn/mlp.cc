@@ -52,4 +52,8 @@ void Mlp::CollectParams(std::vector<Param*>* out) {
   for (auto& norm : norms_) norm.CollectParams(out);
 }
 
+void Mlp::CollectStateMatrices(std::vector<NamedStateRef>* out) {
+  for (auto& norm : norms_) norm.CollectStateMatrices(out);
+}
+
 }  // namespace sbrl

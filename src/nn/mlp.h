@@ -45,6 +45,11 @@ class Mlp {
 
   void CollectParams(std::vector<Param*>* out);
 
+  /// Appends named references to every BatchNorm running statistic in
+  /// the stack (no-op when batchnorm is off); see
+  /// BatchNorm::CollectStateMatrices.
+  void CollectStateMatrices(std::vector<NamedStateRef>* out);
+
   int64_t input_dim() const { return config_.input_dim; }
   int64_t output_dim() const {
     return config_.hidden.empty() ? config_.input_dim

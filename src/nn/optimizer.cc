@@ -19,16 +19,18 @@ AdamOptimizer::AdamOptimizer(std::vector<Param*> params,
   }
 }
 
-void AdamOptimizer::Step(double lr) {
+double AdamOptimizer::Step(double lr) {
   ++step_count_;
   const double b1 = config_.beta1;
   const double b2 = config_.beta2;
   const double bias1 = 1.0 - std::pow(b1, static_cast<double>(step_count_));
   const double bias2 = 1.0 - std::pow(b2, static_cast<double>(step_count_));
+  double digest = 0.0;
   for (Param* p : params_) {
     for (int64_t i = 0; i < p->size(); ++i) {
       double g = p->grad[i];
       if (config_.weight_decay > 0.0) g += config_.weight_decay * p->value[i];
+      digest += g;
       p->adam_m[i] = b1 * p->adam_m[i] + (1.0 - b1) * g;
       p->adam_v[i] = b2 * p->adam_v[i] + (1.0 - b2) * g * g;
       const double m_hat = p->adam_m[i] / bias1;
@@ -37,6 +39,7 @@ void AdamOptimizer::Step(double lr) {
       p->grad[i] = 0.0;
     }
   }
+  return digest;
 }
 
 void AdamOptimizer::ZeroGrad() {

@@ -27,13 +27,24 @@ class AdamOptimizer {
                          const AdamConfig& config = AdamConfig());
 
   /// Applies one Adam update from each Param's accumulated grad, then
-  /// zeroes the grads.
-  void Step(double lr);
+  /// zeroes the grads. Returns the sum of every raw gradient element
+  /// consumed by this step — the training health monitor's fused
+  /// non-finite digest: any NaN or Inf gradient propagates into the
+  /// sum, and accumulating it inside the existing update loop costs
+  /// one add per element instead of a second pass (see
+  /// docs/ARCHITECTURE.md "Failure handling & recovery").
+  double Step(double lr);
 
   /// Zeroes all gradients without updating (e.g. after a skipped step).
   void ZeroGrad();
 
   int64_t step_count() const { return step_count_; }
+  /// Restores the bias-correction position (checkpoint resume /
+  /// divergence rollback); `count` must be >= 0.
+  void set_step_count(int64_t count) {
+    SBRL_CHECK_GE(count, 0);
+    step_count_ = count;
+  }
   const std::vector<Param*>& params() const { return params_; }
 
  private:

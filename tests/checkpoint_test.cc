@@ -1,0 +1,231 @@
+// Checkpoint format lockdown: round-trip fidelity of every
+// TrainingCheckpoint field, atomicity of the temp-file-plus-rename
+// commit, and — the robustness half — that every corruption mode
+// (bad magic, version skew, truncation, bit flips, injected I/O
+// faults) surfaces as the documented typed Status instead of silently
+// loading garbage.
+
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TrainingCheckpoint MakeCheckpoint() {
+  Rng rng(99);
+  TrainingCheckpoint ckpt;
+  ckpt.next_iteration = 42;
+  ckpt.opt_decay_steps = 42;
+  ckpt.opt_plain_steps = 41;
+  ckpt.opt_w_steps = 7;
+  ckpt.best_valid = 0.125;
+  ckpt.bad_evals = 2;
+  ckpt.best_iteration = 39;
+  ckpt.first_bad_iteration = 11;
+  ckpt.rollbacks = 1;
+  ckpt.lr_scale = 0.5;
+  ckpt.loss_anchor = 3.5;
+  ckpt.rng_state = "12345 678 90";
+  ckpt.params.push_back(
+      {"net.l0.w", rng.Randn(4, 3), rng.Randn(4, 3), rng.Randn(4, 3)});
+  ckpt.params.push_back(
+      {"net.l0.b", rng.Randn(1, 3), rng.Randn(1, 3), rng.Randn(1, 3)});
+  ckpt.state.push_back({"net.bn0.running_mean", rng.Randn(1, 3)});
+  ckpt.state.push_back({"net.bn0.running_var", rng.Rand(1, 3, 0.5, 1.5)});
+  ckpt.best_snapshot.push_back(rng.Randn(4, 3));
+  ckpt.best_snapshot.push_back(rng.Randn(1, 3));
+  ckpt.train_loss = {1.5, 1.25, 1.0};
+  ckpt.valid_loss = {1.75, 1.5, 1.6};
+  ckpt.weight_loss = {0.5, 0.25, 0.125};
+  return ckpt;
+}
+
+void ExpectMatrixEq(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(CheckpointTest, RoundTripPreservesEveryField) {
+  const std::string path = TestPath("roundtrip.ckpt");
+  const TrainingCheckpoint ckpt = MakeCheckpoint();
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TrainingCheckpoint& got = loaded.value();
+  EXPECT_EQ(got.next_iteration, ckpt.next_iteration);
+  EXPECT_EQ(got.opt_decay_steps, ckpt.opt_decay_steps);
+  EXPECT_EQ(got.opt_plain_steps, ckpt.opt_plain_steps);
+  EXPECT_EQ(got.opt_w_steps, ckpt.opt_w_steps);
+  EXPECT_EQ(got.best_valid, ckpt.best_valid);
+  EXPECT_EQ(got.bad_evals, ckpt.bad_evals);
+  EXPECT_EQ(got.best_iteration, ckpt.best_iteration);
+  EXPECT_EQ(got.first_bad_iteration, ckpt.first_bad_iteration);
+  EXPECT_EQ(got.rollbacks, ckpt.rollbacks);
+  EXPECT_EQ(got.lr_scale, ckpt.lr_scale);
+  EXPECT_EQ(got.loss_anchor, ckpt.loss_anchor);
+  EXPECT_EQ(got.rng_state, ckpt.rng_state);
+  ASSERT_EQ(got.params.size(), ckpt.params.size());
+  for (size_t i = 0; i < ckpt.params.size(); ++i) {
+    EXPECT_EQ(got.params[i].name, ckpt.params[i].name);
+    ExpectMatrixEq(got.params[i].value, ckpt.params[i].value);
+    ExpectMatrixEq(got.params[i].adam_m, ckpt.params[i].adam_m);
+    ExpectMatrixEq(got.params[i].adam_v, ckpt.params[i].adam_v);
+  }
+  ASSERT_EQ(got.state.size(), ckpt.state.size());
+  for (size_t i = 0; i < ckpt.state.size(); ++i) {
+    EXPECT_EQ(got.state[i].name, ckpt.state[i].name);
+    ExpectMatrixEq(got.state[i].value, ckpt.state[i].value);
+  }
+  ASSERT_EQ(got.best_snapshot.size(), ckpt.best_snapshot.size());
+  for (size_t i = 0; i < ckpt.best_snapshot.size(); ++i) {
+    ExpectMatrixEq(got.best_snapshot[i], ckpt.best_snapshot[i]);
+  }
+  EXPECT_EQ(got.train_loss, ckpt.train_loss);
+  EXPECT_EQ(got.valid_loss, ckpt.valid_loss);
+  EXPECT_EQ(got.weight_loss, ckpt.weight_loss);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SaveOverwritesAtomically) {
+  // A second save replaces the file wholesale and leaves no .tmp
+  // droppings behind.
+  const std::string path = TestPath("overwrite.ckpt");
+  TrainingCheckpoint ckpt = MakeCheckpoint();
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  ckpt.next_iteration = 99;
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().next_iteration, 99);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.is_open()) << "stale temp file left behind";
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  StatusOr<TrainingCheckpoint> loaded =
+      LoadCheckpoint(TestPath("does_not_exist.ckpt"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, BadMagicIsInvalidArgument) {
+  const std::string path = TestPath("not_a_checkpoint.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a checkpoint file";
+  }
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, VersionSkewIsFailedPrecondition) {
+  const std::string path = TestPath("version_skew.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(), path).ok());
+  // The u32 version sits immediately after the 8-byte magic.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  file.seekp(8);
+  const uint32_t future_version = kCheckpointFormatVersion + 1;
+  file.write(reinterpret_cast<const char*>(&future_version),
+             sizeof(future_version));
+  file.close();
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncationIsInternal) {
+  const std::string full_path = TestPath("truncate_src.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(), full_path).ok());
+  std::ifstream in(full_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(full_path.c_str());
+  ASSERT_GT(bytes.size(), 64u);
+  const std::string path = TestPath("truncated.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, BitFlipFailsCrc) {
+  const std::string path = TestPath("bitflip.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(), path).ok());
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  // Flip one bit in the middle of the params payload.
+  file.seekg(size / 2);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.seekp(size / 2);
+  file.write(&byte, 1);
+  file.close();
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, InjectedWriteFaultFailsSaveAndPreservesOldFile) {
+  const std::string path = TestPath("write_fault.ckpt");
+  TrainingCheckpoint ckpt = MakeCheckpoint();
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  ckpt.next_iteration = 1000;
+  ArmFault("checkpoint/write", /*hit=*/0);
+  const Status failed = SaveCheckpoint(ckpt, path);
+  DisarmFaults();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_EQ(FaultFireCount("checkpoint/write"), 0)
+      << "DisarmFaults must clear counters";
+  // The previous checkpoint is untouched — the fault fired before the
+  // temp file was committed.
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().next_iteration, 42);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, InjectedReadFaultFailsLoad) {
+  const std::string path = TestPath("read_fault.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(), path).ok());
+  ArmFault("checkpoint/read", /*hit=*/0);
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  DisarmFaults();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sbrl

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <numeric>
 
 #include "data/causal_dataset.h"
@@ -376,6 +377,57 @@ TEST(CsvTest, MalformedContentRejected) {
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonFiniteFieldRejectedWithLineNumber) {
+  const std::string path = "/tmp/sbrl_csv_nonfinite.csv";
+  {
+    std::ofstream out(path);
+    out << "x0,t,y,mu0,mu1\n";
+    out << "1.0,0,0.5,0.0,1.0\n";
+    out << "nan,1,0.5,0.0,1.0\n";  // strtod parses "nan" happily
+  }
+  auto result = LoadCausalDatasetCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("non-finite"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, InfinityFieldRejected) {
+  const std::string path = "/tmp/sbrl_csv_inf.csv";
+  {
+    std::ofstream out(path);
+    out << "x0,t,y,mu0,mu1\n";
+    out << "inf,0,0.5,0.0,1.0\n";
+  }
+  auto result = LoadCausalDatasetCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CausalDatasetTest, ValidateRejectsNonFiniteValues) {
+  const double nan = std::nan("");
+  {
+    CausalDataset d = TinyDataset();
+    d.x(1, 1) = nan;
+    EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    CausalDataset d = TinyDataset();
+    d.y(0, 0) = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    CausalDataset d = TinyDataset();
+    d.mu1(2, 0) = nan;
+    EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(TinyDataset().Validate().ok());
 }
 
 TEST(CsvTest, NonBinaryTreatmentRejected) {

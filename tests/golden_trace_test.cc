@@ -20,6 +20,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -203,6 +205,123 @@ TEST(GoldenTraceTest, FusedTracksReferenceWithBatchNorm) {
   ASSERT_FALSE(reference.train_loss.empty());
   EXPECT_EQ(reference.train_loss[0], fused.train_loss[0]);
   ExpectTracesClose(reference, fused, 1e-6);
+}
+
+/// One full training observation for the checkpoint/resume lockdown:
+/// the standard trace plus the validation trail and the diagnostics the
+/// recovery engine maintains.
+struct FullTrace {
+  Trace trace;
+  std::vector<double> valid_loss;
+  int64_t best_iteration = -1;
+  int64_t resumed_from_iteration = -1;
+};
+
+FullTrace RunFullTrace(const EstimatorConfig& config,
+                       const CausalDataset& train,
+                       const CausalDataset* valid) {
+  Rng rng(config.train.seed);
+  std::unique_ptr<Backbone> backbone =
+      CreateBackbone(config, train.dim(), rng);
+  SbrlTrainer trainer(config, backbone.get(), /*binary_outcome=*/false);
+  TrainDiagnostics diag;
+  Matrix weights;
+  const Status status = trainer.Train(train, valid, &diag, &weights);
+  SBRL_CHECK(status.ok()) << status.ToString();
+  FullTrace full;
+  full.trace.train_loss = diag.train_loss;
+  full.trace.weight_loss = diag.weight_loss;
+  std::vector<Param*> params;
+  backbone->CollectParams(&params);
+  for (const Param* p : params) {
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      full.trace.params.push_back(p->value[i]);
+    }
+  }
+  for (int64_t i = 0; i < weights.size(); ++i) {
+    full.trace.weights.push_back(weights[i]);
+  }
+  full.valid_loss = diag.valid_loss;
+  full.best_iteration = diag.best_iteration;
+  full.resumed_from_iteration = diag.resumed_from_iteration;
+  return full;
+}
+
+TEST(CheckpointResumeTest, KillAndResumeIsBitwiseIdentical) {
+  // The tentpole contract: a run killed at an iteration boundary and
+  // resumed from its checkpoint is indistinguishable — bit for bit —
+  // from the run that was never interrupted. Batch norm is ON so the
+  // non-Param running statistics are part of what must round-trip, and
+  // a validation set exercises the early-stopping state.
+  const CausalDataset data = MakeDataset();
+  std::vector<int64_t> valid_rows, train_rows;
+  for (int64_t i = 0; i < 150; ++i) valid_rows.push_back(i);
+  for (int64_t i = 150; i < kSamples; ++i) train_rows.push_back(i);
+  const CausalDataset valid = data.Subset(valid_rows);
+  const CausalDataset train = data.Subset(train_rows);
+
+  const EstimatorConfig base = SmallConfig(/*batchnorm=*/true);
+  const FullTrace uninterrupted = RunFullTrace(base, train, &valid);
+
+  const std::string path =
+      ::testing::TempDir() + "/golden_resume.ckpt";
+  std::remove(path.c_str());
+
+  // "Kill" at iteration 3: train only the first half, checkpointing.
+  constexpr int64_t kKillAt = 3;
+  EstimatorConfig part1 = base;
+  part1.train.iterations = kKillAt;
+  part1.train.checkpoint_every = kKillAt;
+  part1.train.checkpoint_path = path;
+  RunFullTrace(part1, train, &valid);
+
+  // Resume a FRESH estimator from the checkpoint and finish the run.
+  EstimatorConfig part2 = base;
+  part2.train.checkpoint_path = path;
+  part2.train.resume = true;
+  const FullTrace resumed = RunFullTrace(part2, train, &valid);
+
+  EXPECT_EQ(resumed.resumed_from_iteration, kKillAt);
+  ExpectTracesBitwiseEqual(uninterrupted.trace, resumed.trace);
+  ASSERT_EQ(uninterrupted.valid_loss.size(), resumed.valid_loss.size());
+  for (size_t i = 0; i < uninterrupted.valid_loss.size(); ++i) {
+    EXPECT_EQ(uninterrupted.valid_loss[i], resumed.valid_loss[i])
+        << "validation loss at evaluation " << i;
+  }
+  EXPECT_EQ(uninterrupted.best_iteration, resumed.best_iteration);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, ResumeAfterCompletedRunIsIdentity) {
+  // A checkpoint saved after the last iteration resumes into a no-op
+  // run that still lands on the identical final state.
+  const CausalDataset data = MakeDataset();
+  const std::string path =
+      ::testing::TempDir() + "/golden_resume_done.ckpt";
+  std::remove(path.c_str());
+  EstimatorConfig config = SmallConfig(/*batchnorm=*/false);
+  config.train.checkpoint_path = path;
+  config.train.checkpoint_every = kIterations;
+  const FullTrace full = RunFullTrace(config, data, nullptr);
+  config.train.resume = true;
+  const FullTrace noop = RunFullTrace(config, data, nullptr);
+  EXPECT_EQ(noop.resumed_from_iteration, kIterations);
+  ExpectTracesBitwiseEqual(full.trace, noop.trace);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, RecoveryEnabledIsBitwiseFreeWhenHealthy) {
+  // With no faults injected, the rollback recovery policy (snapshot
+  // capture + health digests + the x1.0 learning-rate scale) must be
+  // observationally free: bitwise-identical trajectories against
+  // recovery off.
+  EstimatorConfig off = SmallConfig(/*batchnorm=*/false);
+  off.sbrl.recovery_mode = RecoveryMode::kOff;
+  EstimatorConfig on = SmallConfig(/*batchnorm=*/false);
+  on.sbrl.recovery_mode = RecoveryMode::kRollback;
+  const Trace trace_off = RunTrace(off, NetStepMode::kReference);
+  const Trace trace_on = RunTrace(on, NetStepMode::kReference);
+  ExpectTracesBitwiseEqual(trace_off, trace_on);
 }
 
 TEST(GoldenTraceTest, FusedModeChangesNoObservableForDerCfr) {

@@ -89,6 +89,46 @@ TEST(ThreadPoolTest, PropagatesFirstException) {
   EXPECT_GT(completed.load(), 0);
 }
 
+TEST(ThreadPoolTest, PoolStaysUsableAfterException) {
+  // Robustness contract: a throwing chunk must not wedge workers or
+  // poison pool state — the very next ParallelFor on the same pool has
+  // to behave normally. (A failure mode here would surface as the whole
+  // training run hanging after one bad tape node.)
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.ParallelFor(0, 100, 1,
+                         [&](int64_t lo, int64_t hi) {
+                           if (lo <= 50 && 50 < hi) {
+                             throw std::runtime_error("boom");
+                           }
+                         }),
+        std::runtime_error);
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 1000, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolSurvivesExceptionToo) {
+  // Same drill against the shared process-wide pool every kernel uses.
+  ThreadPool& pool = ThreadPool::Global();
+  EXPECT_THROW(pool.ParallelFor(0, 64, 1,
+                                [&](int64_t lo, int64_t) {
+                                  if (lo == 0) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(0, 256, 1, [&](int64_t lo, int64_t hi) {
+    count.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 256);
+}
+
 TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   ThreadPool pool(2);
   std::atomic<int64_t> total{0};
