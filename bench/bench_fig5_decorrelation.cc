@@ -40,28 +40,53 @@ int Main() {
       {BackboneKind::kCfr, FrameworkKind::kSbrl},
       {BackboneKind::kCfr, FrameworkKind::kSbrlHap},
   };
-  TablePrinter table({"Method", "avg pairwise HSIC-RFF", "max pair",
-                      "reduction vs CFR"});
-  double cfr_level = 0.0;
-  for (const MethodSpec& spec : methods) {
-    EstimatorConfig config = WithMethod(BaseConfig(scale, 77), spec);
-    std::cerr << "[fig5] training " << spec.name() << "...\n";
-    auto estimator = HteEstimator::Create(config);
-    SBRL_CHECK(estimator.ok());
-    SBRL_CHECK(estimator->Fit(tv.train, &tv.valid).ok());
-    Matrix rep = estimator->RepresentationOf(tv.train.x);
+  // Three runs of one replication on the sweep engine; the HSIC
+  // statistic is computed per run by the post_fit hook (no eval
+  // populations, so `tests` stays empty).
+  RunPlan plan;
+  plan.methods = methods;
+  plan.seeds = {77};
+  plan.make_datasets = [&tv](int64_t /*seed_index*/, uint64_t /*seed*/) {
+    SweepDatasets data;
+    data.train = tv.train;
+    data.valid = tv.valid;
+    return data;
+  };
+  plan.make_config = [&methods, &scale](int64_t method_index,
+                                        int64_t /*seed_index*/,
+                                        uint64_t seed) {
+    return WithMethod(BaseConfig(scale, seed),
+                      methods[static_cast<size_t>(method_index)]);
+  };
+  plan.post_fit = [&tv](int64_t /*method_index*/, int64_t /*seed_index*/,
+                        const HteEstimator& estimator, RunResult* out) {
+    Matrix rep = estimator.RepresentationOf(tv.train.x);
     // Weighted statistic under the learned sample weights (uniform for
     // vanilla CFR), over (up to) 25 sampled dimensions as in the paper.
     Rng stat_rng(78);  // same dim sample + feature draws for all methods
-    Matrix h = PairwiseHsicRffMatrix(rep, estimator->sample_weights(),
+    Matrix h = PairwiseHsicRffMatrix(rep, estimator.sample_weights(),
                                      /*num_features=*/5, stat_rng,
                                      /*max_dims=*/25);
-    const double avg = MeanOffDiagonal(h);
-    if (spec.framework == FrameworkKind::kVanilla) cfr_level = avg;
+    out->extra = {MeanOffDiagonal(h), h.MaxValue()};
+  };
+
+  ExperimentSession session;
+  SweepOptions options;
+  options.progress = true;
+  const SweepResult sweep = RunSweep(plan, &session, options);
+
+  TablePrinter table({"Method", "avg pairwise HSIC-RFF", "max pair",
+                      "reduction vs CFR"});
+  double cfr_level = 0.0;
+  for (size_t m = 0; m < methods.size(); ++m) {
+    const RunResult& run = sweep.runs[m][0];
+    SBRL_CHECK(run.status.ok()) << run.status.ToString();
+    const double avg = run.extra[0];
+    if (methods[m].framework == FrameworkKind::kVanilla) cfr_level = avg;
     const double reduction =
         cfr_level > 0.0 ? (cfr_level - avg) / cfr_level * 100.0 : 0.0;
-    table.AddRow({spec.name(), FormatDouble(avg, 4),
-                  FormatDouble(h.MaxValue(), 4),
+    table.AddRow({methods[m].name(), FormatDouble(avg, 4),
+                  FormatDouble(run.extra[1], 4),
                   FormatDouble(reduction, 1) + "%"});
   }
   table.Print(std::cout);

@@ -39,25 +39,57 @@ int Main() {
 
   const std::vector<double> sweep_values = {0.0, 0.01, 0.1, 1.0, 10.0,
                                             100.0};
+  // All 18 variants (3 gammas x 6 values) as the method axis of one
+  // engine sweep over the shared single replication; variant v sweeps
+  // gamma (v / 6 + 1) to sweep_values[v % 6].
+  RunPlan plan;
+  plan.methods.assign(
+      3 * sweep_values.size(),
+      MethodSpec{BackboneKind::kCfr, FrameworkKind::kSbrlHap});
+  plan.seeds = {106};
+  plan.make_datasets = [&tv, &test_id, &test_ood](int64_t /*seed_index*/,
+                                                  uint64_t /*seed*/) {
+    SweepDatasets data;
+    data.train = tv.train;
+    data.valid = tv.valid;
+    data.tests = {test_id, test_ood};
+    return data;
+  };
+  plan.make_config = [&sweep_values, &scale](int64_t method_index,
+                                             int64_t /*seed_index*/,
+                                             uint64_t seed) {
+    const int which =
+        static_cast<int>(method_index / static_cast<int64_t>(
+                                            sweep_values.size())) + 1;
+    const double value = sweep_values[static_cast<size_t>(
+        method_index % static_cast<int64_t>(sweep_values.size()))];
+    EstimatorConfig config = BaseConfig(scale, seed);
+    config.backbone = BackboneKind::kCfr;
+    config.framework = FrameworkKind::kSbrlHap;
+    if (which == 1) config.sbrl.gamma1 = value;
+    if (which == 2) config.sbrl.gamma2 = value;
+    if (which == 3) config.sbrl.gamma3 = value;
+    return config;
+  };
+
+  ExperimentSession session;
+  SweepOptions options;
+  options.progress = true;
+  const SweepResult sweep = RunSweep(plan, &session, options);
+
   for (int which = 1; which <= 3; ++which) {
     std::cout << "\nSweep of gamma" << which
               << " (others at bench defaults)\n";
     TablePrinter table({"gamma" + std::to_string(which),
                         "PEHE rho=2.5 (ID)", "F1 factual rho=-3 (OOD)"});
-    for (double value : sweep_values) {
-      EstimatorConfig config = BaseConfig(scale, 106);
-      config.backbone = BackboneKind::kCfr;
-      config.framework = FrameworkKind::kSbrlHap;
-      if (which == 1) config.sbrl.gamma1 = value;
-      if (which == 2) config.sbrl.gamma2 = value;
-      if (which == 3) config.sbrl.gamma3 = value;
-      std::cerr << "[fig6] gamma" << which << "=" << value << "...\n";
-      auto results = TrainAndEvaluate(config, tv.train, &tv.valid,
-                                      {&test_id, &test_ood});
-      SBRL_CHECK(results.ok()) << results.status().ToString();
-      table.AddRow({FormatDouble(value, 2),
-                    FormatDouble((*results)[0].pehe, 3),
-                    FormatDouble((*results)[1].f1_factual, 3)});
+    for (size_t v = 0; v < sweep_values.size(); ++v) {
+      const size_t m =
+          static_cast<size_t>(which - 1) * sweep_values.size() + v;
+      const RunResult& run = sweep.runs[m][0];
+      SBRL_CHECK(run.status.ok()) << run.status.ToString();
+      table.AddRow({FormatDouble(sweep_values[v], 2),
+                    FormatDouble(run.evals[0].pehe, 3),
+                    FormatDouble(run.evals[1].f1_factual, 3)});
     }
     table.Print(std::cout);
   }

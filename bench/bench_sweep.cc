@@ -1,0 +1,108 @@
+// Benchmarks the in-process experiment engine (eval/sweep.h): the Table
+// I plan (nine methods x replications on Syn_8_8_8_2) executed at every
+// outer-worker count from 1 to max(hardware, 2), verifying BITWISE
+// identical results at every count against the sequential W=1 reference
+// and recording per-count wall clock and runs/sec into BENCH_sweep.json
+// (directory overridable via SBRL_BENCH_JSON_DIR). On a single-core
+// host the W>1 rows measure the scheduler's overhead against the same
+// 1-core baseline; on multi-core hosts they are the engine's speedup
+// curve.
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "eval/table_printer.h"
+#include "harness.h"
+
+namespace sbrl {
+namespace bench {
+namespace {
+
+// Every float a run produces that must be schedule-invariant: the
+// metric grid (all tests, all metrics) plus post_fit extras. Timings
+// are wall clock and excluded by design.
+std::vector<double> ResultFingerprint(const SweepResult& sweep) {
+  std::vector<double> values;
+  for (const auto& row : sweep.runs) {
+    for (const RunResult& run : row) {
+      SBRL_CHECK(run.status.ok()) << run.status.ToString();
+      for (const EvalResult& e : run.evals) {
+        values.push_back(e.pehe);
+        values.push_back(e.ate_error);
+        values.push_back(e.f1_factual);
+        values.push_back(e.f1_counterfactual);
+      }
+      for (double v : run.extra) values.push_back(v);
+    }
+  }
+  return values;
+}
+
+int Main() {
+  const Scale scale = GetScale();
+  PrintBanner("bench_sweep",
+              "Experiment engine — Table I plan at 1..N outer workers "
+              "(determinism + scaling)",
+              scale);
+  SyntheticDims dims;  // 8 / 8 / 8 / 2
+  const RunPlan plan = SyntheticRunPlan(dims, AllNineMethods(),
+                                        PaperRhoGrid(), scale, /*seed=*/71);
+  const int64_t total_runs =
+      static_cast<int64_t>(plan.methods.size() * plan.seeds.size());
+  const int max_workers = std::max(
+      2, static_cast<int>(std::thread::hardware_concurrency()));
+
+  BenchJsonWriter json("sweep", scale);
+  TablePrinter table(
+      {"outer workers", "wall seconds", "runs/sec", "vs W=1"});
+  std::vector<double> reference;
+  double reference_wall = 0.0;
+  for (int workers = 1; workers <= max_workers; ++workers) {
+    // A fresh session per worker count: cross-count cache reuse would
+    // only blur the scaling numbers (within a count it is the point).
+    ExperimentSession session;
+    SweepOptions options;
+    options.outer_workers = workers;
+    std::cerr << "[bench_sweep] " << total_runs << " runs at " << workers
+              << " outer worker(s)...\n";
+    const SweepResult sweep = RunSweep(plan, &session, options);
+    SBRL_CHECK_EQ(sweep.outer_workers_used,
+                  std::min<int64_t>(workers, total_runs));
+
+    const std::vector<double> fingerprint = ResultFingerprint(sweep);
+    if (workers == 1) {
+      reference = fingerprint;
+      reference_wall = sweep.wall_seconds;
+    } else {
+      // The engine's determinism contract: bitwise identical results at
+      // every outer-worker count.
+      SBRL_CHECK(fingerprint == reference)
+          << "sweep results diverged from the W=1 reference at "
+          << workers << " workers";
+    }
+
+    const double runs_per_sec =
+        static_cast<double>(total_runs) / sweep.wall_seconds;
+    json.Record("sweep/workers=" + std::to_string(workers),
+                sweep.wall_seconds);
+    table.AddRow({std::to_string(workers),
+                  FormatDouble(sweep.wall_seconds, 3),
+                  FormatDouble(runs_per_sec, 3),
+                  FormatDouble(reference_wall / sweep.wall_seconds, 2) +
+                      "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nEvery worker count produced bitwise identical results "
+               "(verified against W=1).\n";
+  std::cerr << "wrote " << json.WriteOrDie() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sbrl
+
+int main() { return sbrl::bench::Main(); }

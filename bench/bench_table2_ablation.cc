@@ -5,6 +5,7 @@
 // environment (rho = 2.5) and the farthest OOD environment (rho = -3).
 
 #include <iostream>
+#include <utility>
 
 #include "common/string_util.h"
 #include "data/split.h"
@@ -40,48 +41,72 @@ int Main() {
       {"BR + IR + HAP (full)", true, true, true},
   };
 
+  // The ablation grid as a RunPlan: the method axis is the four
+  // sub-module variants (make_config applies the toggles by index).
+  RunPlan plan;
+  for (const AblationRow& row : rows) {
+    plan.methods.push_back(
+        {BackboneKind::kCfr,
+         row.hap ? FrameworkKind::kSbrlHap : FrameworkKind::kSbrl});
+  }
+  for (int rep = 0; rep < scale.replications; ++rep) {
+    plan.seeds.push_back(81 + static_cast<uint64_t>(rep) * 1000003);
+  }
+  plan.make_datasets = [&dims, &scale](int64_t /*seed_index*/,
+                                       uint64_t seed) {
+    SyntheticModel model(dims, seed);
+    CausalDataset pool = model.SampleEnvironment(
+        scale.n_train + scale.n_valid, 2.5, seed + 1);
+    Rng split_rng(seed + 2);
+    TrainValid tv = SplitTrainValid(
+        pool,
+        static_cast<double>(scale.n_train) /
+            static_cast<double>(scale.n_train + scale.n_valid),
+        split_rng);
+    SweepDatasets data;
+    data.train = std::move(tv.train);
+    data.valid = std::move(tv.valid);
+    data.tests.push_back(model.SampleEnvironment(scale.n_test, 2.5, seed + 3));
+    data.tests.push_back(
+        model.SampleEnvironment(scale.n_test, -3.0, seed + 4));
+    return data;
+  };
+  plan.make_config = [&rows, &scale](int64_t method_index,
+                                     int64_t /*seed_index*/, uint64_t seed) {
+    const AblationRow& row = rows[static_cast<size_t>(method_index)];
+    EstimatorConfig config = BaseConfig(scale, seed + 5);
+    config.backbone = BackboneKind::kCfr;
+    // HAP toggles the framework; BR / IR toggle their loss weights.
+    config.framework =
+        row.hap ? FrameworkKind::kSbrlHap : FrameworkKind::kSbrl;
+    if (!row.br) config.sbrl.alpha_br = 0.0;
+    if (!row.ir) config.sbrl.gamma1 = 0.0;
+    if (row.hap) {
+      // Give the hierarchy tiers visible strength in the ablation.
+      config.sbrl.gamma2 = 0.1;
+      config.sbrl.gamma3 = 0.1;
+    }
+    return config;
+  };
+
+  ExperimentSession session;
+  SweepOptions options;
+  options.progress = true;
+  const SweepResult sweep = RunSweep(plan, &session, options);
+
   TablePrinter table({"Sub-modules", "PEHE rho=2.5 (ID)",
                       "PEHE rho=-3 (OOD)"});
-  for (const AblationRow& row : rows) {
+  for (size_t m = 0; m < rows.size(); ++m) {
     std::vector<double> pehe_id, pehe_ood;
-    for (int rep = 0; rep < scale.replications; ++rep) {
-      const uint64_t seed = 81 + static_cast<uint64_t>(rep) * 1000003;
-      SyntheticModel model(dims, seed);
-      CausalDataset pool = model.SampleEnvironment(
-          scale.n_train + scale.n_valid, 2.5, seed + 1);
-      Rng split_rng(seed + 2);
-      TrainValid tv = SplitTrainValid(
-          pool,
-          static_cast<double>(scale.n_train) /
-              static_cast<double>(scale.n_train + scale.n_valid),
-          split_rng);
-      CausalDataset test_id =
-          model.SampleEnvironment(scale.n_test, 2.5, seed + 3);
-      CausalDataset test_ood =
-          model.SampleEnvironment(scale.n_test, -3.0, seed + 4);
-
-      EstimatorConfig config = BaseConfig(scale, seed + 5);
-      config.backbone = BackboneKind::kCfr;
-      // HAP toggles the framework; BR / IR toggle their loss weights.
-      config.framework =
-          row.hap ? FrameworkKind::kSbrlHap : FrameworkKind::kSbrl;
-      if (!row.br) config.sbrl.alpha_br = 0.0;
-      if (!row.ir) config.sbrl.gamma1 = 0.0;
-      if (row.hap) {
-        // Give the hierarchy tiers visible strength in the ablation.
-        config.sbrl.gamma2 = 0.1;
-        config.sbrl.gamma3 = 0.1;
-      }
-      std::cerr << "[table2 rep " << rep + 1 << "] " << row.label << "...\n";
-      auto results = TrainAndEvaluate(config, tv.train, &tv.valid,
-                                      {&test_id, &test_ood});
-      SBRL_CHECK(results.ok()) << results.status().ToString();
-      pehe_id.push_back((*results)[0].pehe);
-      pehe_ood.push_back((*results)[1].pehe);
+    for (size_t s = 0; s < plan.seeds.size(); ++s) {
+      const RunResult& run = sweep.runs[m][s];
+      SBRL_CHECK(run.status.ok()) << run.status.ToString();
+      pehe_id.push_back(run.evals[0].pehe);
+      pehe_ood.push_back(run.evals[1].pehe);
     }
     const EnvAggregate agg_id = AggregateOverEnvironments(pehe_id);
     const EnvAggregate agg_ood = AggregateOverEnvironments(pehe_ood);
-    table.AddRow({row.label, FormatMeanStd(agg_id.mean, agg_id.std_dev),
+    table.AddRow({rows[m].label, FormatMeanStd(agg_id.mean, agg_id.std_dev),
                   FormatMeanStd(agg_ood.mean, agg_ood.std_dev)});
   }
   table.Print(std::cout);

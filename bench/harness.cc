@@ -78,52 +78,74 @@ std::vector<double> PaperRhoGrid() {
   return {-3.0, -2.5, -1.5, -1.3, 1.3, 1.5, 2.5, 3.0};
 }
 
-SweepOutput RunSyntheticSweep(const SyntheticDims& dims,
-                              const std::vector<MethodSpec>& methods,
-                              const std::vector<double>& rho_grid,
-                              const Scale& scale, uint64_t seed) {
-  SweepOutput out;
-  out.methods = methods;
-  out.rho_grid = rho_grid;
-  out.cells.assign(methods.size(),
-                   std::vector<std::vector<EvalResult>>(rho_grid.size()));
-
+RunPlan SyntheticRunPlan(const SyntheticDims& dims,
+                         const std::vector<MethodSpec>& methods,
+                         const std::vector<double>& rho_grid,
+                         const Scale& scale, uint64_t seed) {
+  RunPlan plan;
+  plan.methods = methods;
+  plan.seeds.reserve(static_cast<size_t>(scale.replications));
   for (int rep = 0; rep < scale.replications; ++rep) {
-    const uint64_t rep_seed = seed + static_cast<uint64_t>(rep) * 1000003;
+    plan.seeds.push_back(seed + static_cast<uint64_t>(rep) * 1000003);
+  }
+  plan.make_datasets = [dims, rho_grid, scale](int64_t /*seed_index*/,
+                                               uint64_t rep_seed) {
     SyntheticModel model(dims, rep_seed);
     // Training population: the rho = +2.5 environment (paper default).
-    CausalDataset pool =
-        model.SampleEnvironment(scale.n_train + scale.n_valid, 2.5,
-                                rep_seed + 1);
+    CausalDataset pool = model.SampleEnvironment(
+        scale.n_train + scale.n_valid, 2.5, rep_seed + 1);
     Rng split_rng(rep_seed + 2);
     TrainValid tv = SplitTrainValid(
         pool,
         static_cast<double>(scale.n_train) /
             static_cast<double>(scale.n_train + scale.n_valid),
         split_rng);
+    SweepDatasets data;
+    data.train = std::move(tv.train);
+    data.valid = std::move(tv.valid);
     // Test environments, shared by all methods within this replication.
-    std::vector<CausalDataset> tests;
-    tests.reserve(rho_grid.size());
+    data.tests.reserve(rho_grid.size());
     for (size_t r = 0; r < rho_grid.size(); ++r) {
-      tests.push_back(model.SampleEnvironment(
+      data.tests.push_back(model.SampleEnvironment(
           scale.n_test, rho_grid[r], rep_seed + 10 + static_cast<uint64_t>(r)));
     }
-    std::vector<const CausalDataset*> test_ptrs;
-    test_ptrs.reserve(tests.size());
-    for (const auto& t : tests) test_ptrs.push_back(&t);
+    return data;
+  };
+  plan.make_config = [methods, scale](int64_t method_index,
+                                      int64_t /*seed_index*/,
+                                      uint64_t rep_seed) {
+    return WithMethod(BaseConfig(scale, rep_seed + 100),
+                      methods[static_cast<size_t>(method_index)]);
+  };
+  return plan;
+}
 
-    for (size_t m = 0; m < methods.size(); ++m) {
-      EstimatorConfig config =
-          WithMethod(BaseConfig(scale, rep_seed + 100), methods[m]);
-      std::cerr << "[sweep rep " << rep + 1 << "/" << scale.replications
-                << "] " << methods[m].name() << "..." << std::flush;
-      auto results = TrainAndEvaluate(config, tv.train, &tv.valid,
-                                      test_ptrs);
-      SBRL_CHECK(results.ok()) << results.status().ToString();
+SweepOutput RunSyntheticSweep(const SyntheticDims& dims,
+                              const std::vector<MethodSpec>& methods,
+                              const std::vector<double>& rho_grid,
+                              const Scale& scale, uint64_t seed) {
+  const RunPlan plan =
+      SyntheticRunPlan(dims, methods, rho_grid, scale, seed);
+  ExperimentSession session;
+  SweepOptions options;
+  options.progress = true;
+  const SweepResult sweep = RunSweep(plan, &session, options);
+  std::cerr << "[sweep] " << methods.size() * plan.seeds.size()
+            << " runs in " << sweep.wall_seconds << "s ("
+            << sweep.outer_workers_used << " outer workers)\n";
+
+  SweepOutput out;
+  out.methods = methods;
+  out.rho_grid = rho_grid;
+  out.cells.assign(methods.size(),
+                   std::vector<std::vector<EvalResult>>(rho_grid.size()));
+  for (size_t m = 0; m < methods.size(); ++m) {
+    for (size_t s = 0; s < plan.seeds.size(); ++s) {
+      const RunResult& run = sweep.runs[m][s];
+      SBRL_CHECK(run.status.ok()) << run.status.ToString();
       for (size_t r = 0; r < rho_grid.size(); ++r) {
-        out.cells[m][r].push_back((*results)[r]);
+        out.cells[m][r].push_back(run.evals[r]);
       }
-      std::cerr << " done\n";
     }
   }
   return out;

@@ -6,6 +6,7 @@
 
 #include "data/synthetic.h"
 #include "eval/experiment.h"
+#include "eval/sweep.h"
 
 namespace sbrl {
 namespace bench {
@@ -46,9 +47,20 @@ struct SweepOutput {
   std::vector<std::vector<std::vector<EvalResult>>> cells;
 };
 
+/// The synthetic OOD experiment as a declarative RunPlan for the sweep
+/// engine: `scale.replications` seeds derived from `seed`, training on
+/// the rho = +2.5 environment and evaluating across `rho_grid`. The
+/// plan RunSyntheticSweep executes; exposed so the sweep bench can run
+/// the identical plan at several outer-worker counts.
+RunPlan SyntheticRunPlan(const SyntheticDims& dims,
+                         const std::vector<MethodSpec>& methods,
+                         const std::vector<double>& rho_grid,
+                         const Scale& scale, uint64_t seed);
+
 /// Trains every method on the rho = +2.5 environment of `dims` and
 /// evaluates across the rho grid, repeated `scale.replications` times
-/// with distinct seeds. Prints progress to stderr.
+/// with distinct seeds, scheduled on the in-process experiment engine
+/// (eval/sweep.h). Prints progress to stderr.
 SweepOutput RunSyntheticSweep(const SyntheticDims& dims,
                               const std::vector<MethodSpec>& methods,
                               const std::vector<double>& rho_grid,

@@ -37,4 +37,13 @@ ctest --test-dir "${PREFIX}-sanitize" -L sanitize --output-on-failure \
 ctest --test-dir "${PREFIX}-sanitize" -L faults --output-on-failure \
       -j "${JOBS}"
 
+echo "=== sanitized configuration (thread) ==="
+# The experiment engine's concurrency surfaces (sweep scheduler, session
+# shared cache, thread pool, thread-scoped ISA dispatch) under
+# ThreadSanitizer — the "no process-global mutable state touched by a
+# run" contract, machine-checked.
+cmake -B "${PREFIX}-tsan" -S . -DSBRL_SANITIZE=thread
+cmake --build "${PREFIX}-tsan" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-tsan" -L tsan --output-on-failure -j "${JOBS}"
+
 echo "=== CI OK ==="

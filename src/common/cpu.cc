@@ -70,6 +70,10 @@ constexpr Isa kMaxCompiledIsa =
 /// Process-wide active ISA as an int; -1 before first resolution.
 std::atomic<int> g_active_isa{-1};
 
+/// Thread-scoped override installed by ScopedThreadIsa; -1 when no
+/// scope is active on this thread (fall through to the global).
+thread_local int t_thread_isa = -1;
+
 /// Warns once per process about an unparseable SBRL_ISA value.
 void WarnBadEnvOnce(const char* env) {
   static std::atomic<bool> warned{false};
@@ -172,6 +176,7 @@ Isa ResolveIsa(IsaChoice config_choice, const char* env, Isa max_supported) {
 }
 
 Isa ActiveIsa() {
+  if (t_thread_isa >= 0) return static_cast<Isa>(t_thread_isa);
   const int cached = g_active_isa.load(std::memory_order_relaxed);
   if (cached >= 0) return static_cast<Isa>(cached);
   return SetActiveIsa(IsaChoice::kAuto);
@@ -183,5 +188,19 @@ Isa SetActiveIsa(IsaChoice choice) {
   g_active_isa.store(static_cast<int>(resolved), std::memory_order_relaxed);
   return resolved;
 }
+
+ScopedThreadIsa::ScopedThreadIsa(IsaChoice choice)
+    : saved_(t_thread_isa),
+      resolved_(
+          ResolveIsa(choice, std::getenv("SBRL_ISA"), MaxSupportedIsa())) {
+  t_thread_isa = static_cast<int>(resolved_);
+}
+
+ScopedThreadIsa::ScopedThreadIsa(Isa isa)
+    : saved_(t_thread_isa), resolved_(isa) {
+  t_thread_isa = static_cast<int>(resolved_);
+}
+
+ScopedThreadIsa::~ScopedThreadIsa() { t_thread_isa = saved_; }
 
 }  // namespace sbrl

@@ -89,18 +89,54 @@ Isa MaxSupportedIsa();
 /// `max_supported` is clamped down to it.
 Isa ResolveIsa(IsaChoice config_choice, const char* env, Isa max_supported);
 
-/// The process-wide ISA level every kernel dispatch reads. First use
-/// resolves ResolveIsa(kAuto, getenv("SBRL_ISA"), MaxSupportedIsa());
-/// SetActiveIsa re-resolves on demand. Reading is one relaxed atomic
-/// load — cheap enough for per-call dispatch.
+/// The ISA level every kernel dispatch reads. A thread-scoped override
+/// (ScopedThreadIsa) wins when one is active on the calling thread;
+/// otherwise the process-wide default applies, resolved on first use as
+/// ResolveIsa(kAuto, getenv("SBRL_ISA"), MaxSupportedIsa()) and
+/// re-resolvable via SetActiveIsa. Reading is one thread-local load
+/// plus (on the fallback path) one relaxed atomic load — cheap enough
+/// for per-call dispatch.
 Isa ActiveIsa();
 
-/// Re-resolves the active ISA from `choice` (typically SbrlConfig::isa)
-/// under the rule of ResolveIsa — the SBRL_ISA environment variable, if
-/// set and valid, still wins — and returns the level now active. Safe
-/// to call between kernel invocations; must not race an in-flight
-/// kernel (callers swap at step boundaries, e.g. Train() entry).
+/// Re-resolves the PROCESS-WIDE default ISA from `choice` under the
+/// rule of ResolveIsa — the SBRL_ISA environment variable, if set and
+/// valid, still wins — and returns the level now active. Thread-scoped
+/// overrides are unaffected. Safe to call between kernel invocations;
+/// must not race an in-flight kernel (callers swap at step boundaries,
+/// e.g. a micro-bench's per-level loop). Training runs do NOT use this:
+/// they pin their level with ScopedThreadIsa so concurrent runs with
+/// different configs cannot race on process state.
 Isa SetActiveIsa(IsaChoice choice);
+
+/// RAII thread-scoped ISA override: while alive, ActiveIsa() on the
+/// constructing thread returns the pinned level; destruction restores
+/// whatever override (or none) was active before, so scopes nest.
+/// Other threads are unaffected — EXCEPT that ThreadPool::ParallelFor
+/// propagates the caller's ActiveIsa() to its workers for the duration
+/// of each loop, so a run's inner fan-out always executes at the run's
+/// pinned level (the sweep-determinism contract; see
+/// docs/ARCHITECTURE.md "Experiment engine").
+class ScopedThreadIsa {
+ public:
+  /// Pins the resolution of `choice` (SBRL_ISA env > choice > auto,
+  /// clamped to the host — the SetActiveIsa rule, applied to this
+  /// thread only).
+  explicit ScopedThreadIsa(IsaChoice choice);
+  /// Pins an already-resolved level exactly (no re-resolution). Used by
+  /// the pool to propagate a caller's level into its workers.
+  explicit ScopedThreadIsa(Isa isa);
+  ~ScopedThreadIsa();
+
+  ScopedThreadIsa(const ScopedThreadIsa&) = delete;
+  ScopedThreadIsa& operator=(const ScopedThreadIsa&) = delete;
+
+  /// The level this scope pinned (what ActiveIsa() returns inside it).
+  Isa resolved() const { return resolved_; }
+
+ private:
+  int saved_;  // previous thread override (-1: none was active)
+  Isa resolved_;
+};
 
 }  // namespace sbrl
 

@@ -1,7 +1,6 @@
 #include "common/simd.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 
 #include "common/check.h"
@@ -69,8 +68,10 @@ void ScaledCosExactSerialInPlace(double* x, int64_t n, double scale) {
   for (int64_t i = 0; i < n; ++i) x[i] = scale * std::cos(x[i]);
 }
 
-/// Process-wide cosine-sweep wall-clock total, in nanoseconds.
-std::atomic<int64_t> g_cos_sweep_nanos{0};
+/// Per-thread cosine-sweep wall-clock total, in nanoseconds. Thread-
+/// local so concurrent runs (which each execute on one thread) never
+/// see each other's sweep time in their deltas.
+thread_local int64_t t_cos_sweep_nanos = 0;
 
 /// Runs serial_fn(lo, hi) over [0, n) with every chunk boundary on a
 /// multiple of kCosSweepBlock. ParallelFor's chunk size depends on the
@@ -91,9 +92,7 @@ void BlockAlignedSweep(int64_t n, const SerialFn& serial_fn) {
   ParallelFor(0, nblocks, grain, [&](int64_t lo, int64_t hi) {
     serial_fn(lo * kCosSweepBlock, std::min(hi * kCosSweepBlock, n));
   });
-  g_cos_sweep_nanos.fetch_add(
-      static_cast<int64_t>(timer.ElapsedSeconds() * 1e9),
-      std::memory_order_relaxed);
+  t_cos_sweep_nanos += static_cast<int64_t>(timer.ElapsedSeconds() * 1e9);
 }
 
 }  // namespace
@@ -157,15 +156,11 @@ void ScaledCosRowsInPlace(double* x, int64_t rows, int64_t cols,
       }
     }
   });
-  g_cos_sweep_nanos.fetch_add(
-      static_cast<int64_t>(timer.ElapsedSeconds() * 1e9),
-      std::memory_order_relaxed);
+  t_cos_sweep_nanos += static_cast<int64_t>(timer.ElapsedSeconds() * 1e9);
 }
 
-double CosSweepSecondsTotal() {
-  return static_cast<double>(
-             g_cos_sweep_nanos.load(std::memory_order_relaxed)) *
-         1e-9;
+double CosSweepSecondsThisThread() {
+  return static_cast<double>(t_cos_sweep_nanos) * 1e-9;
 }
 
 }  // namespace sbrl

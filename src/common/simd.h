@@ -63,7 +63,7 @@ void VecCos(const double* x, double* y, int64_t n);
 /// the trailing multiply by `scale` is performed identically in both
 /// modes, so mode-to-mode disagreement is bounded by the cosine ulp
 /// bound alone. Parallelizes like VecCos. Seconds spent here accrue to
-/// CosSweepSecondsTotal().
+/// the calling thread's CosSweepSecondsThisThread().
 void ScaledCosInPlace(double* x, int64_t n, double scale, CosineMode mode);
 
 /// ScaledCosInPlace over a strided (rows x cols) block whose row r
@@ -74,13 +74,18 @@ void ScaledCosInPlace(double* x, int64_t n, double scale, CosineMode mode);
 void ScaledCosRowsInPlace(double* x, int64_t rows, int64_t cols,
                           int64_t stride, double scale, CosineMode mode);
 
-/// Monotonically increasing process-wide total of wall-clock seconds
-/// spent inside the cosine sweeps above, measured on the calling
-/// thread (the sweep blocks its caller, so pool fan-out time is
-/// included). Callers snapshot it before and after a region to
-/// attribute cosine cost — TrainDiagnostics::rff_cos_seconds is the
-/// delta across one Train() call.
-double CosSweepSecondsTotal();
+/// Monotonically increasing PER-THREAD total of wall-clock seconds
+/// spent inside the cosine sweeps above, measured on the thread that
+/// issued them (the sweep blocks its caller, so pool fan-out time is
+/// included; time spent by pool workers executing someone else's sweep
+/// does not accrue here). Callers snapshot it before and after a
+/// region to attribute cosine cost — TrainDiagnostics::rff_cos_seconds
+/// is the delta across one Train() call. Run-scoped by construction:
+/// each run of a concurrent sweep executes on one thread, so deltas
+/// never include another run's sweeps and rff_cos_seconds <=
+/// train_seconds always holds (the cross-run attribution contract a
+/// process-global counter cannot give).
+double CosSweepSecondsThisThread();
 
 }  // namespace sbrl
 

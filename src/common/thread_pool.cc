@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/cpu.h"
 
 namespace sbrl {
 
@@ -43,6 +44,13 @@ struct ThreadPool::Job {
   int64_t end = 0;
   int64_t chunk = 1;
   int64_t chunks_total = 0;
+  /// The dispatching thread's ActiveIsa() at submit time. Workers pin
+  /// it thread-locally while running this job's chunks, so a loop
+  /// always executes at its caller's level even when the caller holds a
+  /// ScopedThreadIsa override the workers cannot see — different
+  /// concurrent runs must never mix kernel levels within one loop
+  /// (written before publication under the pool mutex, read after).
+  Isa caller_isa = Isa::kBaseline;
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> chunks_done{0};
 
@@ -69,6 +77,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunChunks(Job& job) {
+  // Execute at the dispatcher's kernel level (a no-op on the caller
+  // thread itself, where this re-pins the level already active).
+  ScopedThreadIsa isa_scope(job.caller_isa);
   // Chunks are independent, so an exception does not cancel the rest of
   // the loop — the first one is recorded and rethrown after the drain.
   for (;;) {
@@ -126,6 +137,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
   job->body = &body;
   job->begin = begin;
   job->end = end;
+  job->caller_isa = ActiveIsa();
   // Aim for a few chunks per lane (dynamic load balance) but never
   // below min_grain indices per chunk.
   const int64_t target_chunks =

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/cpu.h"
 #include "core/dercfr.h"
 #include "tensor/linalg.h"
 
@@ -13,7 +14,7 @@ StatusOr<HteEstimator> HteEstimator::Create(const EstimatorConfig& config) {
 }
 
 Status HteEstimator::Fit(const CausalDataset& train,
-                         const CausalDataset* valid) {
+                         const CausalDataset* valid, RunContext* ctx) {
   SBRL_RETURN_IF_ERROR(train.Validate());
   if (valid != nullptr) {
     SBRL_RETURN_IF_ERROR(valid->Validate());
@@ -61,7 +62,7 @@ Status HteEstimator::Fit(const CausalDataset& train,
   }
 
   diag_ = TrainDiagnostics();
-  SbrlTrainer trainer(config_, backbone_.get(), binary_outcome_);
+  SbrlTrainer trainer(config_, backbone_.get(), binary_outcome_, ctx);
   SBRL_RETURN_IF_ERROR(trainer.Train(train_std, valid, &diag_, &weights_));
   fitted_ = true;
   return Status::OK();
@@ -81,6 +82,10 @@ BackboneForward HteEstimator::PredictForward(ParamBinder& binder,
 }
 
 Matrix HteEstimator::PredictPotentialOutcomes(const Matrix& x) const {
+  // Predict with the same kernel level the estimator trained at, pinned
+  // thread-locally (concurrent sweep evaluation must not depend on the
+  // process-wide default).
+  ScopedThreadIsa isa_scope(config_.sbrl.isa);
   Tape tape;
   ParamBinder binder(&tape);
   BackboneForward fwd = PredictForward(binder, x);
@@ -119,6 +124,7 @@ double HteEstimator::PredictAte(const Matrix& x) const {
 }
 
 Matrix HteEstimator::RepresentationOf(const Matrix& x) const {
+  ScopedThreadIsa isa_scope(config_.sbrl.isa);
   Tape tape;
   ParamBinder binder(&tape);
   BackboneForward fwd = PredictForward(binder, x);

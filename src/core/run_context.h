@@ -1,0 +1,37 @@
+#ifndef SBRL_CORE_RUN_CONTEXT_H_
+#define SBRL_CORE_RUN_CONTEXT_H_
+
+#include "stats/rff.h"
+#include "tensor/pool.h"
+
+namespace sbrl {
+
+/// The mutable per-run resources one training run owns exclusively for
+/// its duration — everything a run would otherwise have to reach for
+/// through process-global state. An ExperimentSession hands one out per
+/// scheduled run (recycling resource sets across runs so steady-state
+/// sweeps keep warm buffer pools); a standalone HteEstimator::Fit with
+/// no context falls back to trainer-owned instances. Either way the
+/// resources are touched by exactly one thread at a time (the run's),
+/// which is what lets the not-thread-safe pool and cache stay lock-free
+/// on the training hot path.
+///
+/// Resource recycling is value-transparent by construction:
+/// MatrixPool::AcquireZero zeroes recycled buffers and the projection
+/// cache's draws are pure functions of their keys, so which run
+/// previously used a resource set can never change any bit of a later
+/// run's result (the sweep-determinism contract, docs/ARCHITECTURE.md
+/// "Experiment engine").
+struct RunContext {
+  /// Buffer arena for the run's autodiff tapes. Never null when the
+  /// context comes from a session lease.
+  MatrixPool* tape_pool = nullptr;
+  /// Per-run RFF projection memoizer (possibly wired to the session's
+  /// SharedRffProjectionCache behind it). Never null when the context
+  /// comes from a session lease.
+  RffProjectionCache* rff_cache = nullptr;
+};
+
+}  // namespace sbrl
+
+#endif  // SBRL_CORE_RUN_CONTEXT_H_

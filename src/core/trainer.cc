@@ -52,9 +52,15 @@ RecoveryMode ResolveRecoveryMode(RecoveryMode config_mode) {
 }  // namespace
 
 SbrlTrainer::SbrlTrainer(const EstimatorConfig& config, Backbone* backbone,
-                         bool binary_outcome)
-    : config_(config), backbone_(backbone), binary_outcome_(binary_outcome) {
+                         bool binary_outcome, RunContext* ctx)
+    : config_(config),
+      backbone_(backbone),
+      binary_outcome_(binary_outcome),
+      tape_pool_(ctx != nullptr ? ctx->tape_pool : &owned_tape_pool_),
+      rff_proj_cache_(ctx != nullptr ? ctx->rff_cache : &owned_rff_cache_) {
   SBRL_CHECK(backbone != nullptr);
+  SBRL_CHECK(tape_pool_ != nullptr && rff_proj_cache_ != nullptr)
+      << "RunContext with null resources";
   // Paper Table IV footnote: TARNet has no balancing term, so its SBRL
   // variants drop L_B (alpha = 0).
   effective_alpha_br_ =
@@ -69,7 +75,7 @@ SbrlTrainer::SbrlTrainer(const EstimatorConfig& config, Backbone* backbone,
 }
 
 double SbrlTrainer::EvalFactualLoss(const CausalDataset& data) {
-  Tape tape(&tape_pool_);
+  Tape tape(tape_pool_);
   ParamBinder binder(&tape);
   Var w_uniform = tape.Constant(Matrix::Ones(data.n(), 1));
   BackboneForward fwd = backbone_->Forward(binder, data.x, data.t,
@@ -84,10 +90,15 @@ Status SbrlTrainer::Train(const CausalDataset& train,
                           Matrix* out_weights) {
   SBRL_CHECK(diag != nullptr && out_weights != nullptr);
   Timer timer;
-  // Resolve the kernel ISA for this run (SBRL_ISA env > config > auto,
-  // clamped to the host; see common/cpu.h) and record what actually ran.
-  diag->isa = IsaName(SetActiveIsa(config_.sbrl.isa));
-  const double cos_seconds_at_start = CosSweepSecondsTotal();
+  // Pin the kernel ISA for this run on THIS THREAD (SBRL_ISA env >
+  // config > auto, clamped to the host; see common/cpu.h) and record
+  // what actually ran. Thread-scoped rather than process-global so
+  // concurrent runs with different configs neither race nor leak their
+  // level into each other; ParallelFor propagates the pin to any pool
+  // workers this run fans out to.
+  ScopedThreadIsa isa_scope(config_.sbrl.isa);
+  diag->isa = IsaName(isa_scope.resolved());
+  const double cos_seconds_at_start = CosSweepSecondsThisThread();
   const int64_t n = train.n();
   const bool learn_weights =
       config_.framework != FrameworkKind::kVanilla;
@@ -297,7 +308,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
     Timer net_timer;
     double weight_loss_value = 0.0;
     Matrix w_norm = weights.NormalizedToMeanOne();
-    Tape tape(&tape_pool_);
+    Tape tape(tape_pool_);
     ParamBinder binder(&tape);
     Var w_const = tape.Constant(w_norm);
     BackboneForward fwd = backbone_->Forward(binder, train.x, train.t,
@@ -331,14 +342,14 @@ Status SbrlTrainer::Train(const CausalDataset& train,
       for (const Var& z : fwd.z_other) inputs.z_o.push_back(z.value());
       inputs.t = train.t;
 
-      Tape w_tape(&tape_pool_);
+      Tape w_tape(tape_pool_);
       ParamBinder w_binder(&w_tape);
       Var w_var = w_binder.Bind(weights.param());
       Var w_loss = BuildWeightLoss(w_var, inputs, config_.sbrl,
                                    config_.framework, effective_alpha_br_,
                                    br_ipm_, br_rbf_bandwidth_, hsic_rng,
                                    config_.sbrl.rff_projection_cache
-                                       ? &rff_proj_cache_
+                                       ? rff_proj_cache_
                                        : nullptr);
       weight_loss_value = w_loss.value().scalar();
       w_tape.Backward(w_loss);
@@ -478,7 +489,7 @@ Status SbrlTrainer::Train(const CausalDataset& train,
   diag->recovery_rollbacks = rollbacks;
   *out_weights = weights.raw();
   diag->train_seconds = timer.ElapsedSeconds();
-  diag->rff_cos_seconds = CosSweepSecondsTotal() - cos_seconds_at_start;
+  diag->rff_cos_seconds = CosSweepSecondsThisThread() - cos_seconds_at_start;
   return Status::OK();
 }
 

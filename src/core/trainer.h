@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/backbone.h"
+#include "core/run_context.h"
 #include "core/sample_weights.h"
 #include "data/causal_dataset.h"
 #include "stats/rff.h"
@@ -41,8 +42,11 @@ struct TrainDiagnostics {
   double net_step_seconds = 0.0;
   /// Wall-clock seconds of `train_seconds` spent inside the RFF cosine
   /// sweeps (the sqrt(2) cos epilogue of every decorrelation-loss
-  /// feature evaluation) — the delta of CosSweepSecondsTotal() across
-  /// Train(). The dominant slice of `weight_step_seconds` that the
+  /// feature evaluation) — the delta of the run thread's
+  /// CosSweepSecondsThisThread() across Train(), so overlapping runs of
+  /// a concurrent sweep never leak sweep time into each other and
+  /// rff_cos_seconds <= train_seconds always holds. The dominant slice
+  /// of `weight_step_seconds` that the
   /// vectorized CosineMode targets; BENCH_table6.json records it as
   /// `<method>/rff_cos` so the cosine share is tracked across PRs.
   double rff_cos_seconds = 0.0;
@@ -85,9 +89,14 @@ struct TrainDiagnostics {
 class SbrlTrainer {
  public:
   /// `backbone` must outlive the trainer. `binary_outcome` selects
-  /// cross-entropy vs squared-error heads.
+  /// cross-entropy vs squared-error heads. `ctx`, when non-null, makes
+  /// the trainer borrow the run's session-leased resources (tape pool,
+  /// RFF projection cache) instead of owning fresh ones — both must
+  /// outlive the trainer; null keeps the self-contained standalone
+  /// behavior. Borrowed and owned resources produce bitwise identical
+  /// training (value-transparent pooling; see core/run_context.h).
   SbrlTrainer(const EstimatorConfig& config, Backbone* backbone,
-              bool binary_outcome);
+              bool binary_outcome, RunContext* ctx = nullptr);
 
   /// Trains on `train`, early-stopping on `valid` (optional). On
   /// success writes the learned sample weights (uniform for vanilla
@@ -104,15 +113,19 @@ class SbrlTrainer {
   double effective_alpha_br_;
   IpmKind br_ipm_;
   double br_rbf_bandwidth_;
+  /// Standalone fallback instances behind the pointers below, used only
+  /// when no RunContext was supplied at construction.
+  MatrixPool owned_tape_pool_;
+  RffProjectionCache owned_rff_cache_;
   /// Buffer arena shared by every per-iteration tape: node shapes repeat
   /// across iterations, so steady-state training reuses buffers instead
-  /// of reallocating them.
-  MatrixPool tape_pool_;
+  /// of reallocating them. Session-leased (RunContext) or owned.
+  MatrixPool* tape_pool_;
   /// Per-weight-step memoizer of the RFF projection draws shared by the
   /// HAP tiers; handed to BuildWeightLoss when
   /// SbrlConfig::rff_projection_cache is set (value-transparent either
-  /// way).
-  RffProjectionCache rff_proj_cache_;
+  /// way). Session-leased (RunContext) or owned.
+  RffProjectionCache* rff_proj_cache_;
 };
 
 }  // namespace sbrl

@@ -1,0 +1,53 @@
+#include "eval/session.h"
+
+#include "common/check.h"
+#include "tensor/pool.h"
+
+namespace sbrl {
+
+// The unit of recycling: one run's worth of exclusive mutable state.
+struct ExperimentSession::ResourceSet {
+  MatrixPool tape_pool;
+  RffProjectionCache rff_cache;
+  RunContext ctx;
+};
+
+ExperimentSession::ExperimentSession() = default;
+ExperimentSession::~ExperimentSession() = default;
+
+ExperimentSession::RunLease::~RunLease() {
+  if (session_ != nullptr) session_->Release(set_);
+}
+
+RunContext* ExperimentSession::RunLease::context() {
+  SBRL_CHECK(set_ != nullptr) << "lease was moved from";
+  return &static_cast<ResourceSet*>(set_)->ctx;
+}
+
+ExperimentSession::RunLease ExperimentSession::AcquireRun() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_sets_.empty()) {
+    ResourceSet* set = free_sets_.back();
+    free_sets_.pop_back();
+    return RunLease(this, set);
+  }
+  auto set = std::make_unique<ResourceSet>();
+  set->rff_cache.set_shared(&shared_rff_);
+  set->ctx.tape_pool = &set->tape_pool;
+  set->ctx.rff_cache = &set->rff_cache;
+  ResourceSet* raw = set.get();
+  all_sets_.push_back(std::move(set));
+  return RunLease(this, raw);
+}
+
+void ExperimentSession::Release(void* set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_sets_.push_back(static_cast<ResourceSet*>(set));
+}
+
+int64_t ExperimentSession::resource_sets_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(all_sets_.size());
+}
+
+}  // namespace sbrl

@@ -1,0 +1,120 @@
+#ifndef SBRL_EVAL_SWEEP_H_
+#define SBRL_EVAL_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/estimator.h"
+#include "data/causal_dataset.h"
+#include "eval/experiment.h"
+#include "eval/session.h"
+
+namespace sbrl {
+
+/// The read-only dataset bundle one replication seed trains and
+/// evaluates against. Generated ONCE per seed by RunPlan::make_datasets
+/// and shared by every method's run at that seed — runs only read it.
+struct SweepDatasets {
+  CausalDataset train;
+  /// Early-stopping split; ignored when `use_valid` is false (methods
+  /// then train without validation, e.g. fig. 5/6 decorrelation runs).
+  CausalDataset valid;
+  bool use_valid = true;
+  /// Evaluation populations, one EvalResult each per run — e.g. the
+  /// paper's rho grid (Table I) or {train, valid, test} (Table III).
+  std::vector<CausalDataset> tests;
+};
+
+/// Outcome of one (method, seed) cell of a sweep.
+struct RunResult {
+  /// Why the run failed; OK when `evals` / `diag` are meaningful.
+  /// A failed cell never aborts the sweep — callers filter on ok().
+  Status status = Status::OK();
+  /// One entry per SweepDatasets::tests population, in test order.
+  std::vector<EvalResult> evals;
+  /// The fitted estimator's training record (timings, loss curves).
+  TrainDiagnostics diag;
+  /// Free-form per-run values filled by RunPlan::post_fit (e.g. fig. 5
+  /// off-diagonal HSIC statistics). Empty when no post_fit hook is set.
+  std::vector<double> extra;
+};
+
+/// Declarative description of a methods x seeds experiment grid.
+///
+/// `make_datasets` / `make_config` receive the replication coordinates,
+/// never schedule state, so a plan is deterministic by construction:
+/// the engine may execute cells in any order on any worker without
+/// changing what each cell computes.
+struct RunPlan {
+  /// The method axis (rows of the result grid).
+  std::vector<MethodSpec> methods;
+  /// The replication axis; seeds[i] drives datasets and training RNG of
+  /// replication i.
+  std::vector<uint64_t> seeds;
+  /// Builds replication `seed_index`'s datasets from its seed. Called
+  /// once per seed, sequentially in seed order, BEFORE any run starts.
+  std::function<SweepDatasets(int64_t seed_index, uint64_t seed)>
+      make_datasets;
+  /// Builds the full estimator configuration of cell
+  /// (method_index, seed_index). Must be pure in its arguments.
+  std::function<EstimatorConfig(int64_t method_index, int64_t seed_index,
+                                uint64_t seed)>
+      make_config;
+  /// Optional hook run on the fitted estimator of each successful cell
+  /// (on that cell's worker, before the run's lease is returned); fills
+  /// RunResult::extra with per-run diagnostics. Must only touch `out`
+  /// and read-only state.
+  std::function<void(int64_t method_index, int64_t seed_index,
+                     const HteEstimator& estimator, RunResult* out)>
+      post_fit;
+};
+
+/// Knobs of one RunSweep call.
+struct SweepOptions {
+  /// Outer scheduler lanes: how many runs may train concurrently.
+  /// 0 = resolve from the SBRL_SWEEP_WORKERS environment variable, else
+  /// the global pool parallelism. Whatever the value, results are
+  /// bitwise identical (see RunSweep).
+  int outer_workers = 0;
+  /// Emit one stderr line per completed run (bench progress).
+  bool progress = false;
+};
+
+/// The filled methods x seeds grid plus scheduler telemetry.
+struct SweepResult {
+  /// runs[method_index][seed_index] — always fully sized, failed cells
+  /// carry their non-OK status.
+  std::vector<std::vector<RunResult>> runs;
+  /// Wall-clock seconds of the whole sweep (dataset generation through
+  /// last run).
+  double wall_seconds = 0.0;
+  /// The resolved lane count the sweep actually scheduled with.
+  int outer_workers_used = 0;
+};
+
+/// Mean +- std over the successful replications of one
+/// (method, test population) cell; CHECK-fails if every replication of
+/// the cell failed.
+ReplicationStats AggregateCell(const SweepResult& result,
+                               int64_t method_index, int64_t test_index);
+
+/// Executes `plan` on the experiment engine: datasets are generated once
+/// per seed, then the methods x seeds run grid is scheduled over the
+/// global thread pool with `options.outer_workers` concurrent runs, each
+/// run training single-threaded on session-leased resources (nested
+/// ParallelFor serial-inlines, so lanes never oversubscribe the host).
+/// With one lane the runs execute sequentially in grid order and each
+/// run keeps its inner kernel parallelism.
+///
+/// Determinism contract: the returned grid is BITWISE IDENTICAL for any
+/// `outer_workers` value and any run completion order, and identical to
+/// fitting each cell standalone (kernels are thread-count invariant and
+/// every mutable resource is run-scoped through `session`; see
+/// docs/ARCHITECTURE.md "Experiment engine").
+SweepResult RunSweep(const RunPlan& plan, ExperimentSession* session,
+                     const SweepOptions& options = SweepOptions());
+
+}  // namespace sbrl
+
+#endif  // SBRL_EVAL_SWEEP_H_

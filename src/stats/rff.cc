@@ -103,6 +103,55 @@ RffProjection SampleRffSlot(uint64_t epoch_seed, int64_t in_dim,
   return SampleRff(rng, in_dim, num_features);
 }
 
+bool SharedRffProjectionCache::Lookup(uint64_t epoch_seed, int64_t in_dim,
+                                      int64_t num_features, int64_t slot,
+                                      RffProjection* out) const {
+  SBRL_CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find({epoch_seed, in_dim, num_features, slot});
+  if (it == entries_.end()) return false;
+  *out = it->second;  // copy under the lock: eviction can never dangle
+  ++hits_;
+  return true;
+}
+
+void SharedRffProjectionCache::Insert(uint64_t epoch_seed, int64_t in_dim,
+                                      int64_t num_features, int64_t slot,
+                                      const RffProjection& proj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{epoch_seed, in_dim, num_features, slot};
+  const auto inserted = entries_.emplace(key, proj);
+  if (!inserted.second) return;  // concurrent duplicate: first wins
+  auto epoch_it = epoch_keys_.find(epoch_seed);
+  if (epoch_it == epoch_keys_.end()) {
+    epoch_order_.push_back(epoch_seed);
+    epoch_it = epoch_keys_.emplace(epoch_seed, std::vector<Key>()).first;
+  }
+  epoch_it->second.push_back(key);
+  EvictOldEpochsLocked();
+}
+
+int64_t SharedRffProjectionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+int64_t SharedRffProjectionCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+void SharedRffProjectionCache::EvictOldEpochsLocked() {
+  while (static_cast<int64_t>(epoch_order_.size()) > kMaxEpochs) {
+    const uint64_t victim = epoch_order_.front();
+    epoch_order_.pop_front();
+    const auto it = epoch_keys_.find(victim);
+    SBRL_CHECK(it != epoch_keys_.end());
+    for (const Key& key : it->second) entries_.erase(key);
+    epoch_keys_.erase(it);
+  }
+}
+
 void RffProjectionCache::BeginEpoch(uint64_t epoch_seed) {
   if (has_epoch_ && epoch_seed_ == epoch_seed) return;
   epoch_seed_ = epoch_seed;
@@ -122,8 +171,18 @@ const RffProjection& RffProjectionCache::Slot(int64_t in_dim,
   }
   RffProjection& entry = stream[static_cast<size_t>(slot)];
   if (entry.w.rows() == 0) {  // sentinel: not drawn yet
-    entry = SampleRffSlot(epoch_seed_, in_dim, num_features, slot);
-    ++draws_this_epoch_;
+    // Second level: the session-shared cache may already hold another
+    // run's draw of this slot (bitwise identical by slot purity). The
+    // hit is COPIED into local deque storage so the reference contract
+    // of Slot() never depends on shared-cache eviction.
+    if (shared_ == nullptr ||
+        !shared_->Lookup(epoch_seed_, in_dim, num_features, slot, &entry)) {
+      entry = SampleRffSlot(epoch_seed_, in_dim, num_features, slot);
+      ++draws_this_epoch_;
+      if (shared_ != nullptr) {
+        shared_->Insert(epoch_seed_, in_dim, num_features, slot, entry);
+      }
+    }
   }
   return entry;
 }

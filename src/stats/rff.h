@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -49,6 +51,66 @@ uint64_t RffSlotSeed(uint64_t epoch_seed, int64_t in_dim,
 RffProjection SampleRffSlot(uint64_t epoch_seed, int64_t in_dim,
                             int64_t num_features, int64_t slot);
 
+/// Concurrency-safe memoization of SampleRffSlot draws across RUNS,
+/// keyed by the full draw identity (epoch_seed, in_dim, num_features,
+/// slot). An ExperimentSession owns one and wires it into every
+/// per-run RffProjectionCache it hands out, so concurrent runs that
+/// share an epoch-seed sequence (e.g. the nine methods of one
+/// replication, whose hsic rngs start from the same train seed) sample
+/// each projection once per session instead of once per run.
+///
+/// Value-transparent for the same reason the per-run cache is: a slot's
+/// projection is a pure function of its key (counter-based streams), so
+/// hit/miss order, insertion races, and eviction can change WHEN a
+/// projection is sampled but never WHAT any caller observes. Lookups
+/// copy the (tiny) projection out under the lock, so entries never
+/// dangle into concurrently evicted storage.
+///
+/// Bounded by epoch FIFO: when more than kMaxEpochs distinct epoch
+/// seeds are resident, entire oldest epochs are evicted first — an
+/// epoch's draws are only ever re-requested while runs still train
+/// through it, so old epochs are dead weight.
+class SharedRffProjectionCache {
+ public:
+  /// Distinct epoch seeds kept resident before FIFO eviction kicks in.
+  /// Sized for a full table sweep: seeds x weight steps is O(1000)
+  /// epochs of a few KB each, and concurrently LIVE epochs are at most
+  /// one per in-flight run.
+  static constexpr int64_t kMaxEpochs = 1024;
+
+  /// Copies the memoized projection of the key into `*out` and returns
+  /// true, or returns false on a miss. Thread-safe.
+  bool Lookup(uint64_t epoch_seed, int64_t in_dim, int64_t num_features,
+              int64_t slot, RffProjection* out) const;
+
+  /// Memoizes a copy of `proj` under the key (first writer wins; a
+  /// concurrent duplicate insert is dropped — both copies are bitwise
+  /// identical by slot purity). Thread-safe.
+  void Insert(uint64_t epoch_seed, int64_t in_dim, int64_t num_features,
+              int64_t slot, const RffProjection& proj);
+
+  /// Projections currently resident (diagnostic; racy under writers).
+  int64_t size() const;
+  /// Lookup calls that hit (diagnostic; lets tests assert cross-run
+  /// reuse actually happens).
+  int64_t hits() const;
+
+ private:
+  using Key = std::tuple<uint64_t, int64_t, int64_t, int64_t>;
+
+  /// Drops whole oldest epochs until at most kMaxEpochs remain. Caller
+  /// holds mu_.
+  void EvictOldEpochsLocked();
+
+  mutable std::mutex mu_;
+  std::map<Key, RffProjection> entries_;
+  /// Epoch seeds in first-seen order (the FIFO eviction queue) plus
+  /// per-epoch entry keys for O(epoch size) eviction.
+  std::deque<uint64_t> epoch_order_;
+  std::map<uint64_t, std::vector<Key>> epoch_keys_;
+  mutable int64_t hits_ = 0;
+};
+
 /// Memoizes SampleRffSlot draws within one draw epoch so evaluations
 /// sharing a (in_dim, num_features, epoch) stream — e.g. the HAP tiers
 /// of one weight step, which all decorrelate with in_dim = 1 and the
@@ -78,14 +140,24 @@ class RffProjectionCache {
   /// Seed of the epoch started by the last BeginEpoch (0 before any).
   uint64_t epoch_seed() const { return epoch_seed_; }
 
-  /// Projections drawn (i.e. cache misses) since the last BeginEpoch —
+  /// Projections SAMPLED locally (full misses — not served by this
+  /// cache nor by the shared session cache) since the last BeginEpoch —
   /// lets tests assert the cross-tier amortization actually happens.
   int64_t draws_this_epoch() const { return draws_this_epoch_; }
+
+  /// Wires a session-shared second-level cache behind this one: a local
+  /// slot miss first consults `shared` (copying any hit into local
+  /// deque storage, so references from Slot() never depend on shared
+  /// eviction) and publishes fresh draws back into it. Null detaches.
+  /// Value-transparent either way; the shared cache must outlive every
+  /// Slot() call.
+  void set_shared(SharedRffProjectionCache* shared) { shared_ = shared; }
 
  private:
   uint64_t epoch_seed_ = 0;
   bool has_epoch_ = false;
   int64_t draws_this_epoch_ = 0;
+  SharedRffProjectionCache* shared_ = nullptr;
   /// (in_dim, num_features) -> slot-indexed projections; an empty `w`
   /// marks a slot not yet drawn. std::deque so growing for a new slot
   /// keeps references to already-drawn slots valid.

@@ -79,6 +79,14 @@ bool Avx512BlockCrossGradDwOrBaseline(int64_t block, const double* gd,
                                       const std::pair<int64_t, int64_t>* pd,
                                       int64_t num_pairs, int64_t r0,
                                       int64_t r1) {
+  // k=5 leaves a 512-bit lane 3/8 empty; the 256-bit AVX2 shape (4+1
+  // split) wins there, so route that block size down a level. Cross-
+  // level dw agreement is tolerance-bounded, not bitwise, so the
+  // routing stays inside the existing grad_dw contract.
+  if (block == 5 && lk::Avx2BlockCrossGradDw(block, gd, fd, dwd, fcols, pd,
+                                             num_pairs, r0, r1)) {
+    return true;
+  }
   if (lk::Avx512BlockCrossGradDw(block, gd, fd, dwd, fcols, pd, num_pairs,
                                  r0, r1)) {
     return true;

@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -172,6 +173,57 @@ TEST(ActiveIsaTest, SetAndEnvRoundTrip) {
     setenv("SBRL_ISA", saved_value.c_str(), 1);
   }
   SetActiveIsa(IsaChoice::kAuto);
+}
+
+TEST(ActiveIsaTest, ScopedThreadIsaOverridesNestsAndRestores) {
+  // The thread-scoped override concurrent runs pin their level with:
+  // it wins over the process default, nests, and restores exactly.
+  const Isa process_default = ActiveIsa();
+  {
+    ScopedThreadIsa outer(IsaChoice::kBaseline);
+    EXPECT_EQ(outer.resolved(), Isa::kBaseline);
+    EXPECT_EQ(ActiveIsa(), Isa::kBaseline);
+    // The process default is untouched while the override is active.
+    {
+      ScopedThreadIsa inner(MaxSupportedIsa());
+      EXPECT_EQ(ActiveIsa(), MaxSupportedIsa());
+    }
+    EXPECT_EQ(ActiveIsa(), Isa::kBaseline);
+  }
+  EXPECT_EQ(ActiveIsa(), process_default);
+}
+
+TEST(ActiveIsaTest, ScopedThreadIsaIsPerThread) {
+  // Another thread never sees this thread's override; without one of
+  // its own it reads the process default.
+  ScopedThreadIsa pin(IsaChoice::kBaseline);
+  const Isa process_default = SetActiveIsa(IsaChoice::kAuto);
+  Isa seen = Isa::kBaseline;
+  std::thread other([&seen]() { seen = ActiveIsa(); });
+  other.join();
+  EXPECT_EQ(seen, process_default);
+  EXPECT_EQ(ActiveIsa(), Isa::kBaseline);
+}
+
+TEST(ActiveIsaTest, PoolWorkersInheritTheCallersScopedIsa) {
+  // ParallelFor chunks must run at the DISPATCHING thread's level, not
+  // the worker's own state — the mechanism that keeps a run's kernels
+  // on one level even when a loop escapes to the pool.
+  ScopedThreadIsa pin(IsaChoice::kBaseline);
+  const int restore_workers = ThreadPool::GlobalParallelism() - 1;
+  ThreadPool::ResetGlobalForTest(2);
+  constexpr int64_t kChunks = 16;
+  std::array<Isa, kChunks> seen;
+  seen.fill(MaxSupportedIsa());
+  ParallelFor(0, kChunks, 1, [&seen](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) seen[static_cast<size_t>(i)] =
+        ActiveIsa();
+  });
+  ThreadPool::ResetGlobalForTest(restore_workers);
+  for (int64_t i = 0; i < kChunks; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)], Isa::kBaseline)
+        << "chunk " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -129,6 +130,27 @@ TEST(ScaledCosTest, ModesAgreeWithinCosineUlpBound) {
   // Both modes multiply by the identical scale, so the disagreement is
   // the cosine bound alone.
   EXPECT_LE(max_ulp, kVecCosMaxUlp);
+}
+
+TEST(ScaledCosTest, SweepSecondsAccrueToTheCallingThreadOnly) {
+  // The counter behind TrainDiagnostics::rff_cos_seconds is per thread:
+  // a sweep on another thread must not advance this thread's total (the
+  // cross-run attribution bug of the process-global counter), while a
+  // local sweep must.
+  std::vector<double> xs(20000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 0.001 * static_cast<double>(i);
+  }
+  const double before = CosSweepSecondsThisThread();
+  std::thread other([xs]() mutable {
+    ScaledCosInPlace(xs.data(), static_cast<int64_t>(xs.size()), 1.0,
+                     CosineMode::kVectorized);
+  });
+  other.join();
+  EXPECT_EQ(CosSweepSecondsThisThread(), before);
+  ScaledCosInPlace(xs.data(), static_cast<int64_t>(xs.size()), 1.0,
+                   CosineMode::kVectorized);
+  EXPECT_GT(CosSweepSecondsThisThread(), before);
 }
 
 TEST(ScaledCosTest, StridedRowsMatchContiguousPerRow) {
