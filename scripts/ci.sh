@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: builds the default and sanitized configurations and
-# runs the tier-1 suite (which includes the threads2, isa_baseline, and
-# faults variants), then the sanitizer subset plus the fault drills
-# under asan/ubsan. Mirrors the ROADMAP verify line;
+# runs the tier-1 suite (which includes the threads2, isa_baseline,
+# faults, and serving variants), then the sanitizer subset plus the
+# fault drills and serving format suite under asan/ubsan, and the
+# ThreadSanitizer subset (which includes the serving micro-batcher
+# concurrency suite). Mirrors the ROADMAP verify line;
 # .github/workflows/ci.yml calls this script, and it runs unchanged on
 # any box with cmake + gcc/clang + gtest (google-benchmark and doxygen
 # are optional — the corresponding targets/tests skip when absent).
@@ -25,6 +27,9 @@ ctest --test-dir "${PREFIX}" -L threads2 --output-on-failure -j "${JOBS}"
 # drills); tier1-labeled, but run the label explicitly for the same
 # reason as threads2.
 ctest --test-dir "${PREFIX}" -L faults --output-on-failure -j "${JOBS}"
+# Serving engine (model format, export/score parity, micro-batcher,
+# OOD gating); tier1-labeled, run explicitly as a labeling guard.
+ctest --test-dir "${PREFIX}" -L serving --output-on-failure -j "${JOBS}"
 
 echo "=== sanitized configuration (address,undefined) ==="
 cmake -B "${PREFIX}-sanitize" -S . -DSBRL_SANITIZE=address,undefined
@@ -35,6 +40,10 @@ ctest --test-dir "${PREFIX}-sanitize" -L sanitize --output-on-failure \
 # same allocations; checkpoint I/O paths touch raw byte buffers) —
 # run the label under asan/ubsan as well.
 ctest --test-dir "${PREFIX}-sanitize" -L faults --output-on-failure \
+      -j "${JOBS}"
+# The serving format suite rides along sanitized for the same reason
+# (serve/write + serve/read fault sites over raw byte buffers).
+ctest --test-dir "${PREFIX}-sanitize" -L serving --output-on-failure \
       -j "${JOBS}"
 
 echo "=== sanitized configuration (thread) ==="

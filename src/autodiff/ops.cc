@@ -981,20 +981,65 @@ void AffineBackwardFromDpre(Tape* t, int xi, int wi, int bi, Matrix&& dpre) {
   t->Recycle(std::move(dpre));
 }
 
-/// Affine forward into a pooled buffer: x W + broadcast b.
-Matrix AffineForwardInto(Tape* t, const Matrix& xv, const Matrix& wv,
-                         const Matrix& bv) {
-  const int64_t n = xv.rows(), m = wv.cols();
-  Matrix pre = t->NewZero(n, m);
-  MatmulInto(xv, wv, &pre);
-  double* pd = pre.data();
-  const double* bd = bv.data();
+/// Broadcast-adds the (1 x m) row at `bd` to every row of the
+/// (n x m) buffer at `pd`, in place. Shared by the tape ops and the
+/// serving value kernels so both paths add the bias in the same order.
+void AddRowBroadcastInPlace(int64_t n, int64_t m, double* pd,
+                            const double* bd) {
   RowwiseFor(n, m, [pd, bd, m](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       double* prow = pd + r * m;
       for (int64_t c = 0; c < m; ++c) prow[c] += bd[c];
     }
   });
+}
+
+/// Bias add and activation in one pass over a matmul output at `od`,
+/// in place; the pre-activation is overwritten and never kept. This is
+/// THE fused-affine forward loop — AffineAct's tape node and
+/// AffineActValue both run it, which is what makes serving forwards
+/// bitwise identical to training-path inference forwards.
+template <typename Act>
+void BiasActInPlace(int64_t n, int64_t m, double* od, const double* bd) {
+  RowwiseFor(n, m, [od, bd, m](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      double* orow = od + r * m;
+      for (int64_t c = 0; c < m; ++c) {
+        orow[c] = Act::F(orow[c] + bd[c]);
+      }
+    }
+  });
+}
+
+/// Frozen-statistics batch-norm + activation pass over the biased
+/// affine output at `od`, in place: h = (od - mean) * inv_std,
+/// od = act(h * gamma + beta). When `hd` is non-null the normalized
+/// activations are also stored there (the tape op keeps them for its
+/// backward); the serving value kernel passes nullptr. Shared for the
+/// same bitwise-parity reason as BiasActInPlace.
+template <typename Act>
+void BnInferActInPlace(int64_t n, int64_t m, double* od, double* hd,
+                       const double* md, const double* sd, const double* gd,
+                       const double* bd) {
+  RowwiseFor(n, m, [hd, od, md, sd, gd, bd, m](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t c = 0; c < m; ++c) {
+        const int64_t i = r * m + c;
+        const double h = (od[i] + -1.0 * md[c]) * sd[c];
+        if (hd != nullptr) hd[i] = h;
+        od[i] = Act::F(h * gd[c] + bd[c]);
+      }
+    }
+  });
+}
+
+/// Affine forward into a pooled buffer: x W + broadcast b.
+Matrix AffineForwardInto(Tape* t, const Matrix& xv, const Matrix& wv,
+                         const Matrix& bv) {
+  const int64_t n = xv.rows(), m = wv.cols();
+  Matrix pre = t->NewZero(n, m);
+  MatmulInto(xv, wv, &pre);
+  AddRowBroadcastInPlace(n, m, pre.data(), bv.data());
   return pre;
 }
 
@@ -1028,20 +1073,7 @@ Var AffineActImpl(Var x, Var w, Var b) {
   const int64_t n = xv.rows(), m = wv.cols();
   Matrix out = t->NewZero(n, m);
   MatmulInto(xv, wv, &out);
-  {
-    // Bias add and activation in one pass over the matmul output; the
-    // pre-activation is overwritten in place and never kept.
-    double* od = out.data();
-    const double* bd = bv.data();
-    RowwiseFor(n, m, [od, bd, m](int64_t r0, int64_t r1) {
-      for (int64_t r = r0; r < r1; ++r) {
-        double* orow = od + r * m;
-        for (int64_t c = 0; c < m; ++c) {
-          orow[c] = Act::F(orow[c] + bd[c]);
-        }
-      }
-    });
-  }
+  BiasActInPlace<Act>(n, m, out.data(), bv.data());
   const int xi = x.id(), wi = w.id(), bi = b.id(), self = t->size();
   return t->MakeNode(std::move(out), {x, w, b},
                      [xi, wi, bi, self](Tape* t) {
@@ -1235,24 +1267,9 @@ Var AffineBatchNormInferActImpl(Var x, Var w, Var b, Var gamma, Var beta,
     inv_std(0, c) = 1.0 / std::sqrt(running_var(0, c) + eps);
   }
   Matrix xhat = t->NewZero(n, m);
-  {
-    double* hd = xhat.data();
-    double* od = pre.data();
-    const double* md = running_mean.data();
-    const double* sd = inv_std.data();
-    const double* gd = gamma.value().data();
-    const double* bd = beta.value().data();
-    RowwiseFor(n, m, [hd, od, md, sd, gd, bd, m](int64_t r0, int64_t r1) {
-      for (int64_t r = r0; r < r1; ++r) {
-        for (int64_t c = 0; c < m; ++c) {
-          const int64_t i = r * m + c;
-          const double h = (od[i] + -1.0 * md[c]) * sd[c];
-          hd[i] = h;
-          od[i] = Act::F(h * gd[c] + bd[c]);
-        }
-      }
-    });
-  }
+  BnInferActInPlace<Act>(n, m, pre.data(), xhat.data(), running_mean.data(),
+                         inv_std.data(), gamma.value().data(),
+                         beta.value().data());
   const int xi = x.id(), wi = w.id(), bi = b.id();
   const int gi = gamma.id(), ti = beta.id();
   const int self = t->size();
@@ -1307,6 +1324,71 @@ Var AffineBatchNormInferAct(Var x, Var w, Var b, Var gamma, Var beta,
     return AffineBatchNormInferActImpl<decltype(policy)>(
         x, w, b, gamma, beta, running_mean, running_var, eps);
   });
+}
+
+Matrix AffineActValue(const Matrix& x, const Matrix& w, const Matrix& b,
+                      ActKind act) {
+  SBRL_CHECK_EQ(x.cols(), w.rows());
+  SBRL_CHECK(b.rows() == 1 && b.cols() == w.cols());
+  const int64_t n = x.rows(), m = w.cols();
+  Matrix out(n, m);
+  MatmulInto(x, w, &out);
+  DispatchAct(act, [&](auto policy) {
+    BiasActInPlace<decltype(policy)>(n, m, out.data(), b.data());
+  });
+  return out;
+}
+
+Matrix AffineBatchNormInferActValue(const Matrix& x, const Matrix& w,
+                                    const Matrix& b, const Matrix& gamma,
+                                    const Matrix& beta,
+                                    const Matrix& running_mean,
+                                    const Matrix& running_var, double eps,
+                                    ActKind act) {
+  SBRL_CHECK_EQ(x.cols(), w.rows());
+  SBRL_CHECK(b.rows() == 1 && b.cols() == w.cols());
+  SBRL_CHECK(gamma.rows() == 1 && gamma.cols() == w.cols());
+  SBRL_CHECK(beta.same_shape(gamma));
+  SBRL_CHECK(running_mean.rows() == 1 && running_mean.cols() == w.cols());
+  SBRL_CHECK(running_var.same_shape(running_mean));
+  const int64_t n = x.rows(), m = w.cols();
+  Matrix pre(n, m);
+  MatmulInto(x, w, &pre);
+  AddRowBroadcastInPlace(n, m, pre.data(), b.data());
+  Matrix inv_std(1, m);
+  for (int64_t c = 0; c < m; ++c) {
+    inv_std(0, c) = 1.0 / std::sqrt(running_var(0, c) + eps);
+  }
+  DispatchAct(act, [&](auto policy) {
+    BnInferActInPlace<decltype(policy)>(n, m, pre.data(), /*hd=*/nullptr,
+                                        running_mean.data(), inv_std.data(),
+                                        gamma.data(), beta.data());
+  });
+  return pre;
+}
+
+Matrix NormalizeRowsValue(const Matrix& a, double eps) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    // Ascending-column accumulation of the squared row, matching
+    // Square -> RowSum exactly; then the same sqrt/reciprocal chain.
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += a(r, c) * a(r, c);
+    const double inv = 1.0 / std::sqrt(acc + eps);
+    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) * inv;
+  }
+  return out;
+}
+
+Matrix ConcatColsValue(const Matrix& a, const Matrix& b) {
+  SBRL_CHECK_EQ(a.rows(), b.rows());
+  const int64_t ac = a.cols(), bc = b.cols();
+  Matrix out(a.rows(), ac + bc);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < ac; ++c) out(r, c) = a(r, c);
+    for (int64_t c = 0; c < bc; ++c) out(r, ac + c) = b(r, c);
+  }
+  return out;
 }
 
 Var MatmulTransACols(Var a, int64_t a_start, int64_t a_cols, Var b,

@@ -169,6 +169,41 @@ Var AffineBatchNormInferAct(Var x, Var w, Var b, Var gamma, Var beta,
                             const Matrix& running_var, double eps,
                             ActKind act);
 
+// ---------------------------------------------------------------------------
+// Tape-free value kernels for the serving path (src/serve). Each one
+// evaluates EXACTLY the forward arithmetic of the corresponding tape
+// op — same loops, same per-element formulas, same accumulation order
+// — by sharing the fused ops' forward helpers, so a serving forward is
+// bitwise identical to the in-process inference forward while
+// allocating no tape nodes and recording no backward closures.
+// ---------------------------------------------------------------------------
+
+/// Value-only AffineAct: act(x W + broadcast b). Bitwise identical to
+/// AffineAct(...)'s forward output.
+Matrix AffineActValue(const Matrix& x, const Matrix& w, const Matrix& b,
+                      ActKind act);
+
+/// Value-only AffineBatchNormInferAct:
+/// act(gamma .* (x W + b - mean) / sqrt(var + eps) + beta) with frozen
+/// running statistics. Bitwise identical to the tape op's forward.
+Matrix AffineBatchNormInferActValue(const Matrix& x, const Matrix& w,
+                                    const Matrix& b, const Matrix& gamma,
+                                    const Matrix& beta,
+                                    const Matrix& running_mean,
+                                    const Matrix& running_var, double eps,
+                                    ActKind act);
+
+/// Value-only NormalizeRows: each row scaled by
+/// 1 / sqrt(sum_c a(r,c)^2 + eps), with the row sum accumulated in
+/// ascending column order — bitwise identical to the NormalizeRows
+/// op composition (Square -> RowSum -> AddConst -> Sqrt -> Reciprocal
+/// -> MulCol).
+Matrix NormalizeRowsValue(const Matrix& a, double eps = 1e-9);
+
+/// Value-only ConcatCols: [a | b] row-wise. Bitwise identical to the
+/// ConcatCols op's forward output.
+Matrix ConcatColsValue(const Matrix& a, const Matrix& b);
+
 /// a^T * b where a is (p x q) and b is (p x r) -> (q x r), without
 /// materializing a^T. Numerically identical to
 /// Matmul(Transpose(a), b) — forward and backward accumulate in the

@@ -1,25 +1,29 @@
 #include "core/checkpoint.h"
 
-#include <array>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-
-#include "common/fault.h"
+#include "common/serial.h"
 
 namespace sbrl {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Byte-level encoding. Fixed-width little-endian scalars, length-
-// prefixed strings, shape-prefixed raw f64 matrices. Encoding goes
-// through memcpy so the format is byte-stable regardless of alignment;
-// the file is only portable between same-endian hosts, which the CRC
-// and shape checks turn into a load error rather than silent garbage.
-// ---------------------------------------------------------------------------
+// Byte-level encoding is delegated to the shared sectioned-file codec
+// in common/serial.h (magic + u32 version + CRC32-trailed sections,
+// atomic tmp+rename commit). This file owns only the checkpoint's
+// section tags and per-section payload codecs.
 
-constexpr char kMagic[8] = {'S', 'B', 'R', 'L', 'C', 'K', 'P', 'T'};
+using serial::AppendDoubleVector;
+using serial::AppendMatrix;
+using serial::AppendScalar;
+using serial::AppendString;
+using serial::ByteReader;
+
+constexpr serial::FormatSpec kCheckpointFormat = {
+    /*magic=*/"SBRLCKPT",
+    /*version=*/kCheckpointFormatVersion,
+    /*what=*/"checkpoint",
+    /*write_fault=*/"checkpoint/write",
+    /*read_fault=*/"checkpoint/read",
+};
 
 // Section tags. A section is (u32 tag, u64 payload_size, payload,
 // u32 crc32(payload)).
@@ -27,110 +31,6 @@ constexpr uint32_t kSectionMeta = 1;
 constexpr uint32_t kSectionParams = 2;
 constexpr uint32_t kSectionState = 3;
 constexpr uint32_t kSectionBestSnapshot = 4;
-
-uint32_t Crc32(const char* data, size_t size) {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
-          (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-template <typename T>
-void AppendScalar(std::string* out, T v) {
-  char buf[sizeof(T)];
-  std::memcpy(buf, &v, sizeof(T));
-  out->append(buf, sizeof(T));
-}
-
-void AppendString(std::string* out, const std::string& s) {
-  AppendScalar<uint64_t>(out, s.size());
-  out->append(s);
-}
-
-void AppendMatrix(std::string* out, const Matrix& m) {
-  AppendScalar<uint64_t>(out, static_cast<uint64_t>(m.rows()));
-  AppendScalar<uint64_t>(out, static_cast<uint64_t>(m.cols()));
-  out->append(reinterpret_cast<const char*>(m.data()),
-              static_cast<size_t>(m.size()) * sizeof(double));
-}
-
-void AppendDoubleVector(std::string* out, const std::vector<double>& v) {
-  AppendScalar<uint64_t>(out, v.size());
-  out->append(reinterpret_cast<const char*>(v.data()),
-              v.size() * sizeof(double));
-}
-
-// Bounds-checked sequential reader over an encoded byte range. Every
-// read returns false once the range is exhausted, which the callers
-// translate into a corruption Status — a truncated or bit-flipped
-// payload can fail shape checks before the CRC catches it, so both
-// layers report instead of reading out of bounds.
-class ByteReader {
- public:
-  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  template <typename T>
-  bool ReadScalar(T* out) {
-    if (size_ - pos_ < sizeof(T)) return false;
-    std::memcpy(out, data_ + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
-  }
-
-  bool ReadString(std::string* out) {
-    uint64_t size = 0;
-    if (!ReadScalar(&size) || size_ - pos_ < size) return false;
-    out->assign(data_ + pos_, size);
-    pos_ += size;
-    return true;
-  }
-
-  bool ReadMatrix(Matrix* out) {
-    uint64_t rows = 0, cols = 0;
-    if (!ReadScalar(&rows) || !ReadScalar(&cols)) return false;
-    // Guard the size multiplication against overflow from corrupted
-    // shapes: no legitimate checkpoint tensor approaches 2^30 per dim.
-    if (rows > (1ull << 30) || cols > (1ull << 30)) return false;
-    const uint64_t bytes = rows * cols * sizeof(double);
-    if (size_ - pos_ < bytes) return false;
-    *out = Matrix(static_cast<int64_t>(rows), static_cast<int64_t>(cols));
-    std::memcpy(out->data(), data_ + pos_, bytes);
-    pos_ += bytes;
-    return true;
-  }
-
-  bool ReadDoubleVector(std::vector<double>* out) {
-    uint64_t size = 0;
-    if (!ReadScalar(&size) || size > (1ull << 40) ||
-        size_ - pos_ < size * sizeof(double)) {
-      return false;
-    }
-    out->resize(size);
-    std::memcpy(out->data(), data_ + pos_, size * sizeof(double));
-    pos_ += size * sizeof(double);
-    return true;
-  }
-
-  bool exhausted() const { return pos_ == size_; }
-
- private:
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
 
 std::string EncodeMeta(const TrainingCheckpoint& ckpt) {
   std::string out;
@@ -243,120 +143,29 @@ bool DecodeBestSnapshot(ByteReader* reader, std::vector<Matrix>* out) {
   return reader->exhausted();
 }
 
-void AppendSection(std::string* out, uint32_t tag,
-                   const std::string& payload) {
-  AppendScalar<uint32_t>(out, tag);
-  AppendScalar<uint64_t>(out, payload.size());
-  out->append(payload);
-  AppendScalar<uint32_t>(out, Crc32(payload.data(), payload.size()));
-}
-
 }  // namespace
 
 Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
                       const std::string& path) {
-  std::string encoded;
-  encoded.append(kMagic, sizeof(kMagic));
-  AppendScalar<uint32_t>(&encoded, kCheckpointFormatVersion);
-  AppendScalar<uint32_t>(&encoded, 4);  // section count
-  AppendSection(&encoded, kSectionMeta, EncodeMeta(ckpt));
-  AppendSection(&encoded, kSectionParams, EncodeParams(ckpt.params));
-  AppendSection(&encoded, kSectionState, EncodeState(ckpt.state));
-  AppendSection(&encoded, kSectionBestSnapshot,
-                EncodeBestSnapshot(ckpt.best_snapshot));
-
-  if (FaultPoint("checkpoint/write")) {
-    return Status::Internal("injected fault at checkpoint/write: " + path);
-  }
-
-  // Atomic commit: a crash between here and the rename leaves at most a
-  // stale .tmp next to an intact previous checkpoint.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::Internal("cannot open for writing: " + tmp);
-    }
-    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-    out.flush();
-    if (!out.good()) {
-      out.close();
-      std::remove(tmp.c_str());
-      return Status::Internal("write failed: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("rename failed: " + tmp + " -> " + path);
-  }
-  return Status::OK();
+  std::vector<serial::Section> sections;
+  sections.push_back({kSectionMeta, EncodeMeta(ckpt)});
+  sections.push_back({kSectionParams, EncodeParams(ckpt.params)});
+  sections.push_back({kSectionState, EncodeState(ckpt.state)});
+  sections.push_back({kSectionBestSnapshot,
+                      EncodeBestSnapshot(ckpt.best_snapshot)});
+  return serial::WriteSectionedFile(kCheckpointFormat, sections, path);
 }
 
 StatusOr<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {
-  if (FaultPoint("checkpoint/read")) {
-    return Status::Internal("injected fault at checkpoint/read: " + path);
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) {
-    return Status::Internal("read failed: " + path);
-  }
-
-  if (bytes.size() < sizeof(kMagic) ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a checkpoint (bad magic): " + path);
-  }
-  size_t pos = sizeof(kMagic);
-  auto read_u32 = [&](uint32_t* out) {
-    if (bytes.size() - pos < sizeof(uint32_t)) return false;
-    std::memcpy(out, bytes.data() + pos, sizeof(uint32_t));
-    pos += sizeof(uint32_t);
-    return true;
-  };
-  auto read_u64 = [&](uint64_t* out) {
-    if (bytes.size() - pos < sizeof(uint64_t)) return false;
-    std::memcpy(out, bytes.data() + pos, sizeof(uint64_t));
-    pos += sizeof(uint64_t);
-    return true;
-  };
-
-  uint32_t version = 0, section_count = 0;
-  if (!read_u32(&version)) {
-    return Status::Internal("truncated checkpoint header: " + path);
-  }
-  if (version != kCheckpointFormatVersion) {
-    return Status::FailedPrecondition(
-        "checkpoint format version " + std::to_string(version) +
-        " (this build reads " + std::to_string(kCheckpointFormatVersion) +
-        "): " + path);
-  }
-  if (!read_u32(&section_count)) {
-    return Status::Internal("truncated checkpoint header: " + path);
-  }
+  SBRL_ASSIGN_OR_RETURN(std::vector<serial::Section> sections,
+                        serial::ReadSectionedFile(kCheckpointFormat, path));
 
   TrainingCheckpoint ckpt;
   bool seen_meta = false, seen_params = false;
-  for (uint32_t s = 0; s < section_count; ++s) {
-    uint32_t tag = 0, crc = 0;
-    uint64_t payload_size = 0;
-    if (!read_u32(&tag) || !read_u64(&payload_size) ||
-        bytes.size() - pos < payload_size) {
-      return Status::Internal("truncated checkpoint section: " + path);
-    }
-    const char* payload = bytes.data() + pos;
-    pos += payload_size;
-    if (!read_u32(&crc)) {
-      return Status::Internal("truncated checkpoint section: " + path);
-    }
-    if (Crc32(payload, payload_size) != crc) {
-      return Status::Internal("checkpoint CRC mismatch in section " +
-                              std::to_string(tag) + ": " + path);
-    }
-    ByteReader reader(payload, payload_size);
+  for (const serial::Section& section : sections) {
+    ByteReader reader(section.payload.data(), section.payload.size());
     bool decoded = true;
-    switch (tag) {
+    switch (section.tag) {
       case kSectionMeta:
         decoded = DecodeMeta(&reader, &ckpt);
         seen_meta = decoded;
@@ -375,11 +184,11 @@ StatusOr<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {
         // Unknown sections are a forward-compat error at version parity:
         // same version must mean same sections.
         return Status::Internal("unknown checkpoint section tag " +
-                                std::to_string(tag) + ": " + path);
+                                std::to_string(section.tag) + ": " + path);
     }
     if (!decoded) {
       return Status::Internal("corrupt checkpoint section " +
-                              std::to_string(tag) + ": " + path);
+                              std::to_string(section.tag) + ": " + path);
     }
   }
   if (!seen_meta || !seen_params) {

@@ -64,6 +64,18 @@ class HteEstimator {
   /// True once Fit() has succeeded; prediction requires it.
   bool fitted() const { return fitted_; }
 
+  /// The fitted backbone, for export plumbing (serving-model capture of
+  /// parameters and BatchNorm state); null before Fit(). Non-const
+  /// because the parameter-collection interface is non-const.
+  Backbone* fitted_backbone() { return backbone_.get(); }
+  /// Whether the last Fit() saw a binary outcome (predictions are
+  /// probabilities) or a continuous one (de-standardized).
+  bool binary_outcome() const { return binary_outcome_; }
+  /// Training-set outcome mean used for continuous de-standardization.
+  double outcome_mean() const { return y_mean_; }
+  /// Training-set outcome stddev used for continuous de-standardization.
+  double outcome_std() const { return y_std_; }
+
  private:
   explicit HteEstimator(const EstimatorConfig& config) : config_(config) {}
 

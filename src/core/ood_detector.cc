@@ -92,6 +92,56 @@ StatusOr<OodLevelDetector> OodLevelDetector::Fit(const Matrix& source,
   return detector;
 }
 
+OodLevelDetector::State OodLevelDetector::ExportState() const {
+  State state;
+  state.options = options_;
+  state.source = source_;
+  state.quad_pairs = quad_pairs_;
+  state.col_mean = col_mean_;
+  state.col_std = col_std_;
+  state.null_q95 = null_q95_;
+  state.null_scale = null_scale_;
+  return state;
+}
+
+StatusOr<OodLevelDetector> OodLevelDetector::FromState(const State& state) {
+  const int64_t d = state.source.cols();
+  const int64_t d_aug =
+      d + static_cast<int64_t>(state.quad_pairs.size());
+  if (state.source.rows() < 1 || d < 1) {
+    return Status::InvalidArgument("OOD state: empty source matrix");
+  }
+  for (const auto& [i, j] : state.quad_pairs) {
+    if (i < 0 || i >= d || j < 0 || j >= d) {
+      return Status::InvalidArgument(
+          "OOD state: quadratic pair index out of range");
+    }
+  }
+  if (state.col_mean.rows() != 1 || state.col_mean.cols() != d_aug ||
+      !state.col_std.same_shape(state.col_mean)) {
+    return Status::InvalidArgument(
+        "OOD state: standardization statistics shape mismatch");
+  }
+  for (int64_t c = 0; c < d_aug; ++c) {
+    if (!(state.col_std(0, c) > 0.0)) {
+      return Status::InvalidArgument("OOD state: non-positive column std");
+    }
+  }
+  if (!(state.null_scale > 0.0)) {
+    return Status::InvalidArgument("OOD state: non-positive null scale");
+  }
+  OodLevelDetector detector;
+  detector.options_ = state.options;
+  detector.source_ = state.source;
+  detector.quad_pairs_ = state.quad_pairs;
+  detector.col_mean_ = state.col_mean;
+  detector.col_std_ = state.col_std;
+  detector.null_q95_ = state.null_q95;
+  detector.null_scale_ = state.null_scale;
+  detector.source_augmented_ = detector.Augment(detector.source_);
+  return detector;
+}
+
 Matrix OodLevelDetector::Augment(const Matrix& x) const {
   Matrix out(x.rows(),
              x.cols() + static_cast<int64_t>(quad_pairs_.size()));

@@ -50,6 +50,40 @@ class OodLevelDetector {
     return Fit(source, Options());
   }
 
+  /// The complete fitted state of a detector — everything FromState
+  /// needs to reconstruct it exactly (the augmented-source cache is
+  /// recomputed deterministically, not stored). This is what the
+  /// serving model format serializes so OOD gating at score time uses
+  /// the very detector calibrated at training time.
+  struct State {
+    /// Calibration knobs the detector was fitted with.
+    Options options;
+    /// Raw source covariates (n x d) the detector was fitted on.
+    Matrix source;
+    /// Quadratic coordinate-product feature pairs, in draw order.
+    std::vector<std::pair<int64_t, int64_t>> quad_pairs;
+    /// (1 x d_aug) per-column source means for standardization.
+    Matrix col_mean;
+    /// (1 x d_aug) per-column source stddevs (floored at fit time).
+    Matrix col_std;
+    /// 95th percentile of the calibrated null distances.
+    double null_q95 = 0.0;
+    /// Scale (mean) of the calibrated null distances.
+    double null_scale = 1.0;
+  };
+
+  /// Captures the fitted state verbatim (see State).
+  State ExportState() const;
+
+  /// Reconstructs a detector from an exported State. Validates shape
+  /// consistency (col_mean/col_std must be 1 x (d + |quad_pairs|) with
+  /// in-range pair indices, col_std positive, null_scale positive) and
+  /// returns InvalidArgument on any mismatch. The reconstructed
+  /// detector's DistanceTo/LevelOf are bitwise identical to the
+  /// original's: the projection stream is reseeded per call from the
+  /// stored options seed.
+  static StatusOr<OodLevelDetector> FromState(const State& state);
+
   /// Raw max-sliced-Wasserstein distance from `target` to the source.
   double DistanceTo(const Matrix& target) const;
 

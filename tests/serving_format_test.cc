@@ -1,0 +1,275 @@
+// Serving model format lockdown: round-trip fidelity of every section
+// (meta, weights, BatchNorm state, fitted OOD detector), atomicity of
+// the temp-file-plus-rename commit, and the full corruption taxonomy
+// shared with the checkpoint format — bad magic, version skew,
+// truncation, bit flips, injected I/O faults at the serve/write and
+// serve/read sites — each surfacing as the documented typed Status.
+
+#include "serve/model_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/ood_detector.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace serve {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+ServingModelData MakeData() {
+  Rng rng(99);
+  ServingModelData data;
+  data.meta.backbone = BackboneKind::kCfr;
+  data.meta.framework = FrameworkKind::kSbrlHap;
+  data.meta.method_name = MethodName(data.meta.backbone, data.meta.framework);
+  data.meta.input_dim = 5;
+  data.meta.binary_outcome = false;
+  data.meta.y_mean = 1.75;
+  data.meta.y_std = 0.5;
+  data.meta.network.rep_layers = 2;
+  data.meta.network.rep_width = 3;
+  data.meta.network.head_layers = 1;
+  data.meta.network.head_width = 4;
+  data.meta.network.batchnorm = true;
+  data.meta.network.rep_normalization = true;
+  data.meta.network.activation = Activation::kRelu;
+  data.meta.isa = IsaChoice::kBaseline;
+  data.weights.push_back({"rep.l0.W", rng.Randn(5, 3)});
+  data.weights.push_back({"rep.l0.b", rng.Randn(1, 3)});
+  data.weights.push_back({"rep.bn0.gamma", rng.Randn(1, 3)});
+  data.weights.push_back({"rep.bn0.beta", rng.Randn(1, 3)});
+  data.state.push_back({"rep.bn0.running_mean", rng.Randn(1, 3)});
+  data.state.push_back({"rep.bn0.running_var", rng.Rand(1, 3, 0.5, 1.5)});
+  OodLevelDetector::Options options;
+  options.calibration_rounds = 4;
+  options.projections = 4;
+  options.quadratic_features = 6;
+  StatusOr<OodLevelDetector> detector =
+      OodLevelDetector::Fit(rng.Randn(60, 5), options);
+  SBRL_CHECK(detector.ok()) << detector.status().ToString();
+  data.has_ood = true;
+  data.ood = detector->ExportState();
+  return data;
+}
+
+void ExpectMatrixEq(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ServingFormatTest, RoundTripPreservesEverySection) {
+  const std::string path = TestPath("roundtrip.model");
+  const ServingModelData data = MakeData();
+  ASSERT_TRUE(SaveServingModel(data, path).ok());
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServingModelData& got = loaded.value();
+  EXPECT_EQ(got.meta.backbone, data.meta.backbone);
+  EXPECT_EQ(got.meta.framework, data.meta.framework);
+  EXPECT_EQ(got.meta.method_name, data.meta.method_name);
+  EXPECT_EQ(got.meta.input_dim, data.meta.input_dim);
+  EXPECT_EQ(got.meta.binary_outcome, data.meta.binary_outcome);
+  EXPECT_EQ(got.meta.y_mean, data.meta.y_mean);
+  EXPECT_EQ(got.meta.y_std, data.meta.y_std);
+  EXPECT_EQ(got.meta.network.rep_layers, data.meta.network.rep_layers);
+  EXPECT_EQ(got.meta.network.rep_width, data.meta.network.rep_width);
+  EXPECT_EQ(got.meta.network.head_layers, data.meta.network.head_layers);
+  EXPECT_EQ(got.meta.network.head_width, data.meta.network.head_width);
+  EXPECT_EQ(got.meta.network.batchnorm, data.meta.network.batchnorm);
+  EXPECT_EQ(got.meta.network.rep_normalization,
+            data.meta.network.rep_normalization);
+  EXPECT_EQ(got.meta.network.activation, data.meta.network.activation);
+  EXPECT_EQ(got.meta.isa, data.meta.isa);
+  EXPECT_EQ(got.meta.bn_eps, data.meta.bn_eps);
+  ASSERT_EQ(got.weights.size(), data.weights.size());
+  for (size_t i = 0; i < data.weights.size(); ++i) {
+    EXPECT_EQ(got.weights[i].name, data.weights[i].name);
+    ExpectMatrixEq(got.weights[i].value, data.weights[i].value);
+  }
+  ASSERT_EQ(got.state.size(), data.state.size());
+  for (size_t i = 0; i < data.state.size(); ++i) {
+    EXPECT_EQ(got.state[i].name, data.state[i].name);
+    ExpectMatrixEq(got.state[i].value, data.state[i].value);
+  }
+  ASSERT_TRUE(got.has_ood);
+  EXPECT_EQ(got.ood.options.calibration_rounds,
+            data.ood.options.calibration_rounds);
+  EXPECT_EQ(got.ood.options.projections, data.ood.options.projections);
+  EXPECT_EQ(got.ood.options.quadratic_features,
+            data.ood.options.quadratic_features);
+  EXPECT_EQ(got.ood.options.seed, data.ood.options.seed);
+  ExpectMatrixEq(got.ood.source, data.ood.source);
+  EXPECT_EQ(got.ood.quad_pairs, data.ood.quad_pairs);
+  ExpectMatrixEq(got.ood.col_mean, data.ood.col_mean);
+  ExpectMatrixEq(got.ood.col_std, data.ood.col_std);
+  EXPECT_EQ(got.ood.null_q95, data.ood.null_q95);
+  EXPECT_EQ(got.ood.null_scale, data.ood.null_scale);
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, OodSectionIsOptional) {
+  const std::string path = TestPath("no_ood.model");
+  ServingModelData data = MakeData();
+  data.has_ood = false;
+  data.ood = OodLevelDetector::State();
+  ASSERT_TRUE(SaveServingModel(data, path).ok());
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->has_ood);
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, SaveOverwritesAtomically) {
+  // A second save replaces the file wholesale and leaves no .tmp
+  // droppings behind.
+  const std::string path = TestPath("overwrite.model");
+  ServingModelData data = MakeData();
+  ASSERT_TRUE(SaveServingModel(data, path).ok());
+  data.meta.input_dim = 7;
+  ASSERT_TRUE(SaveServingModel(data, path).ok());
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->meta.input_dim, 7);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.is_open()) << "stale temp file left behind";
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, MissingFileIsNotFound) {
+  StatusOr<ServingModelData> loaded =
+      LoadServingModel(TestPath("does_not_exist.model"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServingFormatTest, BadMagicIsInvalidArgument) {
+  const std::string path = TestPath("not_a_model.model");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a serving model file";
+  }
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, CheckpointMagicIsInvalidArgument) {
+  // A valid file of the OTHER sectioned format must be rejected at the
+  // magic check — the two formats share a codec, not an identity.
+  const std::string path = TestPath("wrong_format.model");
+  ASSERT_TRUE(SaveServingModel(MakeData(), path).ok());
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  file.seekp(0);
+  file.write("SBRLCKPT", 8);
+  file.close();
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, VersionSkewIsFailedPrecondition) {
+  const std::string path = TestPath("version_skew.model");
+  ASSERT_TRUE(SaveServingModel(MakeData(), path).ok());
+  // The u32 version sits immediately after the 8-byte magic.
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  file.seekp(8);
+  const uint32_t future_version = kServingFormatVersion + 1;
+  file.write(reinterpret_cast<const char*>(&future_version),
+             sizeof(future_version));
+  file.close();
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, TruncationIsInternal) {
+  const std::string full_path = TestPath("truncate_src.model");
+  ASSERT_TRUE(SaveServingModel(MakeData(), full_path).ok());
+  std::ifstream in(full_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(full_path.c_str());
+  ASSERT_GT(bytes.size(), 64u);
+  const std::string path = TestPath("truncated.model");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, BitFlipFailsCrc) {
+  const std::string path = TestPath("bitflip.model");
+  ASSERT_TRUE(SaveServingModel(MakeData(), path).ok());
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  // Flip one bit in the middle of the weights payload.
+  file.seekg(size / 2);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.seekp(size / 2);
+  file.write(&byte, 1);
+  file.close();
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, InjectedWriteFaultFailsSaveAndPreservesOldFile) {
+  const std::string path = TestPath("write_fault.model");
+  ServingModelData data = MakeData();
+  ASSERT_TRUE(SaveServingModel(data, path).ok());
+  data.meta.input_dim = 1000;
+  ArmFault("serve/write", /*hit=*/0);
+  const Status failed = SaveServingModel(data, path);
+  DisarmFaults();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_EQ(FaultFireCount("serve/write"), 0)
+      << "DisarmFaults must clear counters";
+  // The previous model is untouched — the fault fired before the temp
+  // file was committed.
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->meta.input_dim, 5);
+  std::remove(path.c_str());
+}
+
+TEST(ServingFormatTest, InjectedReadFaultFailsLoad) {
+  const std::string path = TestPath("read_fault.model");
+  ASSERT_TRUE(SaveServingModel(MakeData(), path).ok());
+  ArmFault("serve/read", /*hit=*/0);
+  StatusOr<ServingModelData> loaded = LoadServingModel(path);
+  DisarmFaults();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace sbrl

@@ -1,0 +1,178 @@
+// Serving parity lockdown: for every one of the paper's nine methods,
+// Train -> ExportServingModel -> ServingModel::Load -> ScoreOutcomes
+// must be BITWISE equal to the fitted estimator's
+// PredictPotentialOutcomes — across architectures (BatchNorm on/off,
+// representation normalization, DeR-CFR's split stacks), outcome types
+// (binary probabilities and de-standardized continuous outcomes), and
+// ISA backends (pinned baseline vs auto dispatch).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "serve/model_format.h"
+#include "serve/serving_model.h"
+#include "tensor/random.h"
+
+namespace sbrl {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Small-but-real training setup: every layer type in play, a few dozen
+// iterations — enough for non-trivial weights, fast enough for tier 1.
+EstimatorConfig ParityConfig(const MethodSpec& spec) {
+  EstimatorConfig config;
+  config.network.rep_layers = 2;
+  config.network.rep_width = 8;
+  config.network.head_layers = 2;
+  config.network.head_width = 8;
+  config.train.iterations = 30;
+  config.train.seed = 11;
+  config.train.eval_every = 0;
+  config.sbrl.weight_update_every = 2;
+  config.sbrl.hsic_pair_budget = 8;
+  return WithMethod(config, spec);
+}
+
+struct ParityData {
+  CausalDataset train;
+  Matrix queries;
+};
+
+ParityData MakeParityData() {
+  SyntheticDims dims;
+  dims.m_i = 3;
+  dims.m_c = 3;
+  dims.m_a = 3;
+  dims.m_v = 1;
+  SyntheticModel model(dims, 401);
+  ParityData data;
+  data.train = model.SampleEnvironment(120, 2.5, 402);
+  data.queries = model.SampleEnvironment(40, -2.5, 403).x;
+  return data;
+}
+
+// Trains `config`, exports through the on-disk format, reloads, and
+// requires bitwise equality of serving scores and estimator
+// predictions on `queries`.
+void ExpectServeMatchesPredict(const EstimatorConfig& config,
+                               const CausalDataset& train,
+                               const Matrix& queries,
+                               const std::string& tag) {
+  StatusOr<HteEstimator> estimator = HteEstimator::Create(config);
+  ASSERT_TRUE(estimator.ok()) << estimator.status().ToString();
+  ASSERT_TRUE(estimator->Fit(train).ok()) << tag;
+
+  const std::string path = TestPath("parity_" + tag + ".model");
+  ASSERT_TRUE(
+      serve::ExportServingModel(*estimator, /*detector=*/nullptr, path).ok())
+      << tag;
+  StatusOr<serve::ServingModel> model = serve::ServingModel::Load(path);
+  ASSERT_TRUE(model.ok()) << tag << ": " << model.status().ToString();
+  std::remove(path.c_str());
+
+  const Matrix predicted = estimator->PredictPotentialOutcomes(queries);
+  const Matrix served = model->ScoreOutcomes(queries);
+  ASSERT_EQ(served.rows(), predicted.rows());
+  ASSERT_EQ(served.cols(), 2);
+  for (int64_t i = 0; i < predicted.size(); ++i) {
+    EXPECT_EQ(served[i], predicted[i])
+        << tag << ": serving diverged at element " << i;
+  }
+}
+
+TEST(ServingParityTest, AllNineMethodsScoreBitwiseEqualToPredict) {
+  const ParityData data = MakeParityData();
+  for (const MethodSpec& spec : AllNineMethods()) {
+    ExpectServeMatchesPredict(ParityConfig(spec), data.train, data.queries,
+                              spec.name());
+  }
+}
+
+TEST(ServingParityTest, BatchNormRunningStatsSurviveExport) {
+  // BatchNorm inference needs the running stats carried in the model's
+  // state section — a dropped or reordered stat would break bitwise
+  // parity here.
+  const ParityData data = MakeParityData();
+  MethodSpec spec{BackboneKind::kCfr, FrameworkKind::kSbrlHap};
+  EstimatorConfig config = ParityConfig(spec);
+  config.network.batchnorm = true;
+  ExpectServeMatchesPredict(config, data.train, data.queries, "batchnorm");
+}
+
+TEST(ServingParityTest, RepNormalizationSurvivesExport) {
+  const ParityData data = MakeParityData();
+  MethodSpec spec{BackboneKind::kCfr, FrameworkKind::kVanilla};
+  EstimatorConfig config = ParityConfig(spec);
+  config.network.rep_normalization = true;
+  ExpectServeMatchesPredict(config, data.train, data.queries, "rep_norm");
+}
+
+TEST(ServingParityTest, ContinuousOutcomeDestandardizationMatches) {
+  // Continuous outcomes exercise the y_mean / y_std meta fields: the
+  // estimator de-standardizes predictions, and serving must replay the
+  // same affine transform on the same raw network outputs.
+  ParityData data = MakeParityData();
+  Rng rng(404);
+  data.train.binary_outcome = false;
+  const Matrix noise = rng.Randn(data.train.n(), 1);
+  for (int64_t i = 0; i < data.train.n(); ++i) {
+    const double base = data.train.t[static_cast<size_t>(i)] == 1
+                            ? data.train.mu1(i, 0)
+                            : data.train.mu0(i, 0);
+    data.train.y(i, 0) = 3.0 + 2.0 * base + 0.1 * noise(i, 0);
+  }
+  MethodSpec spec{BackboneKind::kTarnet, FrameworkKind::kSbrl};
+  ExpectServeMatchesPredict(ParityConfig(spec), data.train, data.queries,
+                            "continuous");
+}
+
+TEST(ServingParityTest, IsaPinnedBaselineStaysBitwiseAndNearAuto) {
+  // Pinning SBRL_ISA=baseline must keep serving bitwise equal to the
+  // estimator (both paths re-dispatch together), and the baseline vs
+  // auto-dispatched serving scores may differ only by vectorized
+  // summation order — tolerance-bounded, not bitwise.
+  const ParityData data = MakeParityData();
+  MethodSpec spec{BackboneKind::kCfr, FrameworkKind::kSbrlHap};
+  StatusOr<HteEstimator> estimator =
+      HteEstimator::Create(ParityConfig(spec));
+  ASSERT_TRUE(estimator.ok());
+  ASSERT_TRUE(estimator->Fit(data.train).ok());
+
+  const std::string path = TestPath("parity_isa.model");
+  ASSERT_TRUE(
+      serve::ExportServingModel(*estimator, /*detector=*/nullptr, path).ok());
+  StatusOr<serve::ServingModel> model = serve::ServingModel::Load(path);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  std::remove(path.c_str());
+
+  const Matrix served_auto = model->ScoreOutcomes(data.queries);
+
+  setenv("SBRL_ISA", "baseline", /*overwrite=*/1);
+  const Matrix predicted_base =
+      estimator->PredictPotentialOutcomes(data.queries);
+  const Matrix served_base = model->ScoreOutcomes(data.queries);
+  unsetenv("SBRL_ISA");
+
+  ASSERT_EQ(served_base.size(), predicted_base.size());
+  for (int64_t i = 0; i < predicted_base.size(); ++i) {
+    EXPECT_EQ(served_base[i], predicted_base[i])
+        << "baseline-pinned serving diverged at element " << i;
+  }
+  for (int64_t i = 0; i < served_auto.size(); ++i) {
+    EXPECT_NEAR(served_base[i], served_auto[i], 1e-7)
+        << "baseline vs auto drifted too far at element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sbrl
