@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: builds the default and sanitized configurations and
 # runs the tier-1 suite (which includes the threads2, isa_baseline,
-# faults, and serving variants), then the sanitizer subset plus the
-# fault drills and serving format suite under asan/ubsan, and the
+# faults, serving, and large_n variants), then the sanitizer subset
+# (now including the CSV/streaming loader suites) plus the fault
+# drills and serving format suite under asan/ubsan, and the
 # ThreadSanitizer subset (which includes the serving micro-batcher
 # concurrency suite). Mirrors the ROADMAP verify line;
 # .github/workflows/ci.yml calls this script, and it runs unchanged on
@@ -30,6 +31,10 @@ ctest --test-dir "${PREFIX}" -L faults --output-on-failure -j "${JOBS}"
 # Serving engine (model format, export/score parity, micro-batcher,
 # OOD gating); tier1-labeled, run explicitly as a labeling guard.
 ctest --test-dir "${PREFIX}" -L serving --output-on-failure -j "${JOBS}"
+# Out-of-core path (streaming loaders, sharded tree reduction, the
+# large-n smoke guard); tier1-labeled, run explicitly as a labeling
+# guard.
+ctest --test-dir "${PREFIX}" -L large_n --output-on-failure -j "${JOBS}"
 
 echo "=== sanitized configuration (address,undefined) ==="
 cmake -B "${PREFIX}-sanitize" -S . -DSBRL_SANITIZE=address,undefined

@@ -1,0 +1,50 @@
+#include "common/env.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sbrl {
+
+StatusOr<int64_t> ParseInt64(const std::string& text) {
+  const std::string stripped = StripWhitespace(text);
+  if (stripped.empty()) {
+    return Status::InvalidArgument("empty integer: '" + text + "'");
+  }
+  const char* begin = stripped.c_str();
+  const char* end = begin + stripped.size();
+  // std::from_chars takes a leading '-' but not '+'; strtol-era knobs
+  // accepted "+4", so keep that working.
+  if (*begin == '+') ++begin;
+  int64_t value = 0;
+  const std::from_chars_result result = std::from_chars(begin, end, value);
+  if (result.ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange("integer out of int64 range: '" + text + "'");
+  }
+  if (result.ec != std::errc() || result.ptr != end) {
+    return Status::InvalidArgument("bad integer: '" + text + "'");
+  }
+  return value;
+}
+
+int64_t ParseEnvInt64(const char* name, int64_t min_value, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  StatusOr<int64_t> parsed = ParseInt64(env);
+  if (!parsed.ok()) {
+    SBRL_LOG(Warning) << name << "='" << env
+                      << "' ignored (" << parsed.status().ToString()
+                      << "); using " << fallback;
+    return fallback;
+  }
+  if (*parsed < min_value) {
+    SBRL_LOG(Warning) << name << "=" << *parsed << " is below the minimum "
+                      << min_value << "; using " << fallback;
+    return fallback;
+  }
+  return *parsed;
+}
+
+}  // namespace sbrl

@@ -1,0 +1,34 @@
+#ifndef SBRL_COMMON_ENV_H_
+#define SBRL_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace sbrl {
+
+/// Strict base-10 signed 64-bit integer parse. Accepts an optional
+/// leading '-' or '+' and surrounding ASCII whitespace, nothing else:
+/// empty input, trailing junk ("12x", "1.5"), and values outside the
+/// int64 range ("9223372036854775808") are all rejected with
+/// InvalidArgument / OutOfRange. Locale-independent (std::from_chars),
+/// unlike strtol/strtoll which this replaces.
+StatusOr<int64_t> ParseInt64(const std::string& text);
+
+/// Uniform integer env-knob resolution: the one code path behind every
+/// SBRL_* integer knob (thread count, serial cutoff, sweep workers,
+/// serving batch knobs, shard sizing).
+///
+/// Semantics:
+///   - `name` unset or empty         -> `fallback`, silently.
+///   - malformed / overflowing value -> `fallback`, with one warning
+///     log naming the variable (a typo'd knob must not silently become
+///     LLONG_MAX, which is what unchecked strtoll used to produce).
+///   - parsed value < `min_value`    -> `fallback`, with one warning.
+///   - otherwise                     -> the parsed value.
+int64_t ParseEnvInt64(const char* name, int64_t min_value, int64_t fallback);
+
+}  // namespace sbrl
+
+#endif  // SBRL_COMMON_ENV_H_

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/string_util.h"
 
 namespace sbrl {
@@ -87,14 +88,12 @@ Status ArmFaultsFromSpec(const std::string& spec) {
       persistent = true;
       hit_text.pop_back();
     }
-    char* end = nullptr;
-    const long long hit = std::strtoll(hit_text.c_str(), &end, 10);
-    if (hit_text.empty() || end == hit_text.c_str() || *end != '\0' ||
-        hit < 0) {
+    const StatusOr<int64_t> hit = ParseInt64(hit_text);
+    if (!hit.ok() || *hit < 0) {
       return Status::InvalidArgument(
           "fault spec hit must be a non-negative integer: '" + entry + "'");
     }
-    ArmFault(site, static_cast<int64_t>(hit), persistent);
+    ArmFault(site, *hit, persistent);
   }
   return Status::OK();
 }

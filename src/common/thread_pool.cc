@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <string>
 
 #include "common/check.h"
 #include "common/cpu.h"
+#include "common/env.h"
 
 namespace sbrl {
 
@@ -21,16 +21,13 @@ thread_local bool t_inside_worker = false;
 std::atomic<int64_t> g_serial_cutoff{0};
 
 int EnvThreadCount() {
-  const char* env = std::getenv("SBRL_NUM_THREADS");
-  if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != nullptr && *end == '\0' && parsed > 0) {
-      return static_cast<int>(parsed);
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const int64_t fallback = hw == 0 ? 1 : static_cast<int64_t>(hw);
+  const int64_t parsed =
+      ParseEnvInt64("SBRL_NUM_THREADS", /*min_value=*/1, fallback);
+  // A pool of 2^20 threads is certainly a knob mistake; clamping also
+  // keeps the int cast below well-defined.
+  return static_cast<int>(std::min<int64_t>(parsed, 1 << 20));
 }
 
 }  // namespace
@@ -210,15 +207,8 @@ int ThreadPool::GlobalParallelism() { return Global().num_workers() + 1; }
 int64_t SerialCutoff() {
   const int64_t cached = g_serial_cutoff.load(std::memory_order_relaxed);
   if (cached > 0) return cached;
-  int64_t cutoff = kParallelSerialCutoff;
-  const char* env = std::getenv("SBRL_SERIAL_CUTOFF");
-  if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long long parsed = std::strtoll(env, &end, 10);
-    if (end != nullptr && *end == '\0' && parsed > 0) {
-      cutoff = static_cast<int64_t>(parsed);
-    }
-  }
+  const int64_t cutoff = ParseEnvInt64("SBRL_SERIAL_CUTOFF", /*min_value=*/1,
+                                       kParallelSerialCutoff);
   g_serial_cutoff.store(cutoff, std::memory_order_relaxed);
   return cutoff;
 }

@@ -1,12 +1,9 @@
 #include "data/csv.h"
 
-#include <cmath>
-#include <cstdlib>
 #include <fstream>
-#include <sstream>
-#include <vector>
+#include <locale>
 
-#include "common/string_util.h"
+#include "data/streaming.h"
 
 namespace sbrl {
 
@@ -17,6 +14,11 @@ Status SaveCausalDatasetCsv(const CausalDataset& data,
   if (!out.is_open()) {
     return Status::NotFound("cannot open for writing: " + path);
   }
+  // The writer must be locale-proof: a global comma-decimal locale
+  // would otherwise imbue the stream and emit "1,5" — which the
+  // (locale-independent) loader rightly rejects as a field-count
+  // mismatch.
+  out.imbue(std::locale::classic());
   out << "# binary_outcome=" << (data.binary_outcome ? 1 : 0) << "\n";
   for (int64_t j = 0; j < data.dim(); ++j) out << "x" << j << ",";
   out << "t,y,mu0,mu1\n";
@@ -31,84 +33,15 @@ Status SaveCausalDatasetCsv(const CausalDataset& data,
 }
 
 StatusOr<CausalDataset> LoadCausalDatasetCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
-
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::InvalidArgument("empty file: " + path);
-  }
-  bool binary_outcome = true;
-  if (StartsWith(line, "#")) {
-    if (line.find("binary_outcome=0") != std::string::npos) {
-      binary_outcome = false;
-    }
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("missing header: " + path);
-    }
-  }
-  const std::vector<std::string> header = Split(line, ',');
-  if (header.size() < 5) {
-    return Status::InvalidArgument("header needs x*,t,y,mu0,mu1: " + path);
-  }
-  const int64_t d = static_cast<int64_t>(header.size()) - 4;
-
-  std::vector<std::vector<double>> rows;
-  int64_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (StripWhitespace(line).empty()) continue;
-    const std::vector<std::string> fields = Split(line, ',');
-    if (static_cast<int64_t>(fields.size()) != d + 4) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(line_no) + ": expected " +
-          std::to_string(d + 4) + " fields, got " +
-          std::to_string(fields.size()));
-    }
-    std::vector<double> row;
-    row.reserve(fields.size());
-    for (const std::string& f : fields) {
-      char* end = nullptr;
-      const std::string stripped = StripWhitespace(f);
-      const double v = std::strtod(stripped.c_str(), &end);
-      if (end == stripped.c_str() || *end != '\0') {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": bad number '" + f + "'");
-      }
-      // NaN/Inf parse fine through strtod but poison every downstream
-      // statistic; reject them at the boundary with the line number.
-      if (!std::isfinite(v)) {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": non-finite value '" + f + "'");
-      }
-      row.push_back(v);
-    }
-    rows.push_back(std::move(row));
-  }
-  if (rows.empty()) return Status::InvalidArgument("no data rows: " + path);
-
-  CausalDataset data;
-  const int64_t n = static_cast<int64_t>(rows.size());
-  data.x = Matrix(n, d);
-  data.y = Matrix(n, 1);
-  data.mu0 = Matrix(n, 1);
-  data.mu1 = Matrix(n, 1);
-  data.t.resize(static_cast<size_t>(n));
-  data.binary_outcome = binary_outcome;
-  for (int64_t i = 0; i < n; ++i) {
-    const auto& row = rows[static_cast<size_t>(i)];
-    for (int64_t j = 0; j < d; ++j) {
-      data.x(i, j) = row[static_cast<size_t>(j)];
-    }
-    const double t_val = row[static_cast<size_t>(d)];
-    if (t_val != 0.0 && t_val != 1.0) {
-      return Status::InvalidArgument("treatment must be 0/1, got " +
-                                     std::to_string(t_val));
-    }
-    data.t[static_cast<size_t>(i)] = static_cast<int>(t_val);
-    data.y(i, 0) = row[static_cast<size_t>(d + 1)];
-    data.mu0(i, 0) = row[static_cast<size_t>(d + 2)];
-    data.mu1(i, 0) = row[static_cast<size_t>(d + 3)];
+  // The in-core load is the streaming reader drained into flat
+  // buffers: one parser for both paths, no vector-of-vectors staging
+  // (the old loader held every row as its own heap vector, ~2x the
+  // dataset's footprint at peak).
+  SBRL_ASSIGN_OR_RETURN(const std::unique_ptr<CsvBlockReader> reader,
+                        CsvBlockReader::Open(path));
+  StatusOr<CausalDataset> data = ReadAllRows(*reader);
+  if (!data.ok() && data.status().message() == "no data rows") {
+    return Status::InvalidArgument("no data rows: " + path);
   }
   return data;
 }

@@ -73,11 +73,42 @@ SyntheticModel::Unit SyntheticModel::DrawUnit(Rng& rng) const {
   return unit;
 }
 
+namespace {
+
+/// splitmix64-style mix of (env_seed, chunk_index) into a chunk Rng
+/// seed; a pure counter-based draw keyed the same way as the RFF slot
+/// seeds, so chunk content is traversal-order independent.
+uint64_t ChunkSeed(uint64_t env_seed, uint64_t chunk_index) {
+  uint64_t z = env_seed + 0x9e3779b97f4a7c15ULL * (chunk_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CausalDataset SyntheticModel::SampleEnvironmentChunk(
+    int64_t rows, double rho, uint64_t env_seed, int64_t chunk_index) const {
+  SBRL_CHECK_GE(chunk_index, 0);
+  Rng rng(ChunkSeed(env_seed, static_cast<uint64_t>(chunk_index)));
+  if (rho == 1.0) {
+    return SampleWithRng(rows, /*biased=*/false, rho, rng);
+  }
+  SBRL_CHECK_GT(std::abs(rho), 1.0) << "bias rate must satisfy |rho| > 1";
+  return SampleWithRng(rows, /*biased=*/true, rho, rng);
+}
+
 CausalDataset SyntheticModel::SampleEnvironment(int64_t n, double rho,
                                                 uint64_t env_seed) const {
   SBRL_CHECK_GT(n, 0);
   SBRL_CHECK_GT(std::abs(rho), 1.0) << "bias rate must satisfy |rho| > 1";
   Rng rng(env_seed);
+  return SampleWithRng(n, /*biased=*/true, rho, rng);
+}
+
+CausalDataset SyntheticModel::SampleWithRng(int64_t n, bool biased,
+                                            double rho, Rng& rng) const {
+  SBRL_CHECK_GT(n, 0);
   CausalDataset data;
   data.x = Matrix(n, dims_.total());
   data.y = Matrix(n, 1);
@@ -96,13 +127,15 @@ CausalDataset SyntheticModel::SampleEnvironment(int64_t n, double rho,
         << " at rho=" << rho << "; acceptance rate too low";
     ++attempts;
     Unit unit = DrawUnit(rng);
-    for (int64_t v = 0; v < dims_.m_v; ++v) {
-      unstable[static_cast<size_t>(v)] =
-          unit.x[static_cast<size_t>(unstable_begin() + v)];
+    if (biased) {
+      for (int64_t v = 0; v < dims_.m_v; ++v) {
+        unstable[static_cast<size_t>(v)] =
+            unit.x[static_cast<size_t>(unstable_begin() + v)];
+      }
+      const double log_w =
+          BiasedSelectionLogWeight(unit.y1 - unit.y0, unstable, rho);
+      if (!AcceptWithLogProb(log_w, rng)) continue;
     }
-    const double log_w =
-        BiasedSelectionLogWeight(unit.y1 - unit.y0, unstable, rho);
-    if (!AcceptWithLogProb(log_w, rng)) continue;
     for (int64_t j = 0; j < dims_.total(); ++j) {
       data.x(accepted, j) = unit.x[static_cast<size_t>(j)];
     }
@@ -119,24 +152,7 @@ CausalDataset SyntheticModel::SampleUnbiased(int64_t n,
                                              uint64_t env_seed) const {
   SBRL_CHECK_GT(n, 0);
   Rng rng(env_seed);
-  CausalDataset data;
-  data.x = Matrix(n, dims_.total());
-  data.y = Matrix(n, 1);
-  data.mu0 = Matrix(n, 1);
-  data.mu1 = Matrix(n, 1);
-  data.t.resize(static_cast<size_t>(n));
-  data.binary_outcome = true;
-  for (int64_t i = 0; i < n; ++i) {
-    Unit unit = DrawUnit(rng);
-    for (int64_t j = 0; j < dims_.total(); ++j) {
-      data.x(i, j) = unit.x[static_cast<size_t>(j)];
-    }
-    data.t[static_cast<size_t>(i)] = unit.t;
-    data.mu0(i, 0) = unit.y0;
-    data.mu1(i, 0) = unit.y1;
-    data.y(i, 0) = unit.t == 1 ? unit.y1 : unit.y0;
-  }
-  return data;
+  return SampleWithRng(n, /*biased=*/false, /*rho=*/1.0, rng);
 }
 
 }  // namespace sbrl

@@ -52,6 +52,20 @@ class SyntheticModel {
   /// useful for tests and diagnostics.
   CausalDataset SampleUnbiased(int64_t n, uint64_t env_seed) const;
 
+  /// Chunk `chunk_index` of a streamed environment: `rows` units drawn
+  /// from an Rng seeded purely by (env_seed, chunk_index), so chunk
+  /// content never depends on how many chunks were generated before it
+  /// or on which thread asks — the determinism requirement of the
+  /// streaming reader (data/streaming.h). `rho == 1.0` means unbiased
+  /// sampling; any `|rho| > 1` applies the paper's biased selection
+  /// within the chunk. Note the concatenated chunk stream is a
+  /// *different* (equally distributed) draw than one
+  /// SampleEnvironment(n) call — chunking is part of the stream
+  /// identity.
+  CausalDataset SampleEnvironmentChunk(int64_t rows, double rho,
+                                       uint64_t env_seed,
+                                       int64_t chunk_index) const;
+
   const SyntheticDims& dims() const { return dims_; }
   double threshold0() const { return thr0_; }
   double threshold1() const { return thr1_; }
@@ -72,6 +86,14 @@ class SyntheticModel {
   };
 
   Unit DrawUnit(Rng& rng) const;
+
+  /// Shared sampling loop: draws until `n` units are accepted,
+  /// applying the rho-biased rejection only when `biased` is set. The
+  /// Rng consumption pattern per unit is identical to the pre-chunking
+  /// loops, so SampleEnvironment / SampleUnbiased streams are
+  /// unchanged bit for bit.
+  CausalDataset SampleWithRng(int64_t n, bool biased, double rho,
+                              Rng& rng) const;
 
   SyntheticDims dims_;
   Matrix theta_t_;   // (m_i + m_c) x 1

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/thread_pool.h"
 
 namespace sbrl {
@@ -17,15 +18,10 @@ namespace {
 // Lane count: explicit option > SBRL_SWEEP_WORKERS env > global pool
 // parallelism, clamped to [1, total_runs].
 int ResolveOuterWorkers(const SweepOptions& options, int64_t total_runs) {
-  int workers = options.outer_workers;
+  int64_t workers = options.outer_workers;
   if (workers <= 0) {
-    if (const char* env = std::getenv("SBRL_SWEEP_WORKERS")) {
-      char* end = nullptr;
-      const long parsed = std::strtol(env, &end, 10);
-      if (end != env && *end == '\0' && parsed > 0) {
-        workers = static_cast<int>(parsed);
-      }
-    }
+    workers = ParseEnvInt64("SBRL_SWEEP_WORKERS", /*min_value=*/1,
+                            /*fallback=*/0);
   }
   if (workers <= 0) workers = ThreadPool::GlobalParallelism();
   return static_cast<int>(

@@ -14,6 +14,19 @@ Var ParamBinder::Bind(Param& p) {
   return leaf;
 }
 
+void ParamBinder::CollectLeafGrads(
+    std::vector<std::pair<Param*, Matrix>>* out) const {
+  SBRL_CHECK(out != nullptr);
+  for (const auto& [id, p] : bindings_) {
+    if (!tape_->has_grad(id)) continue;
+    const Matrix& g = tape_->grad(id);
+    SBRL_CHECK(g.same_shape(p->value));
+    // Deep copy: the tape (and its pool-backed buffers) dies with the
+    // shard, the returned gradients outlive it.
+    out->emplace_back(p, g);
+  }
+}
+
 void ParamBinder::FlushGrads() {
   for (const auto& [id, p] : bindings_) {
     if (!tape_->has_grad(id)) continue;

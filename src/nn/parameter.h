@@ -59,6 +59,15 @@ class ParamBinder {
   /// Call once, after Tape::Backward.
   void FlushGrads();
 
+  /// Appends one (param, gradient copy) pair per bound leaf that
+  /// received a gradient, in binding order, WITHOUT touching
+  /// Param::grad. This is the sharded-training read path: concurrent
+  /// per-shard tapes each hand their gradients out privately, and the
+  /// trainer folds them in a fixed tree order — flushing into the
+  /// shared Param::grad from worker threads would be racy and
+  /// accumulation-order dependent.
+  void CollectLeafGrads(std::vector<std::pair<Param*, Matrix>>* out) const;
+
   Tape* tape() const { return tape_; }
 
  private:

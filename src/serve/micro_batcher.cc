@@ -1,28 +1,22 @@
 #include "serve/micro_batcher.h"
 
 #include <chrono>
-#include <cstdlib>
 #include <utility>
 
 #include "common/check.h"
+#include "common/env.h"
 
 namespace sbrl {
 namespace serve {
 
 namespace {
 
-// Knob resolution: explicit option > SBRL_SERVE_* env > default.
+// Knob resolution: explicit option > SBRL_SERVE_* env > default, with
+// the shared ParseEnvInt64 rejection semantics for the env leg.
 int64_t ResolveKnob(int64_t option, const char* env_name, int64_t min_value,
                     int64_t fallback) {
   if (option >= min_value) return option;
-  if (const char* env = std::getenv(env_name)) {
-    char* end = nullptr;
-    const long long parsed = std::strtoll(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= min_value) {
-      return static_cast<int64_t>(parsed);
-    }
-  }
-  return fallback;
+  return ParseEnvInt64(env_name, min_value, fallback);
 }
 
 }  // namespace

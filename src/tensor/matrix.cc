@@ -30,6 +30,18 @@ Matrix Matrix::ColumnVector(const std::vector<double>& values) {
   return out;
 }
 
+Matrix Matrix::FromFlat(int64_t rows, int64_t cols,
+                        std::vector<double>&& values) {
+  SBRL_CHECK_GE(rows, 0);
+  SBRL_CHECK_GE(cols, 0);
+  SBRL_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Matrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.data_ = std::move(values);
+  return out;
+}
+
 Matrix Matrix::RowVector(const std::vector<double>& values) {
   Matrix out(1, static_cast<int64_t>(values.size()));
   std::copy(values.begin(), values.end(), out.data());

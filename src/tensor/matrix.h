@@ -42,6 +42,13 @@ class Matrix {
   /// Builds an (n x 1) column vector from a flat vector.
   static Matrix ColumnVector(const std::vector<double>& values);
 
+  /// Adopts `values` (row-major, size rows*cols) as the backing storage
+  /// of a (rows x cols) matrix — no copy. This is the zero-copy seam
+  /// the streaming/flat-buffer CSV loader hands its accumulation
+  /// buffers through.
+  static Matrix FromFlat(int64_t rows, int64_t cols,
+                         std::vector<double>&& values);
+
   /// Builds a (1 x n) row vector from a flat vector.
   static Matrix RowVector(const std::vector<double>& values);
 
@@ -124,6 +131,11 @@ class Matrix {
   /// Reshapes in place to `src`'s shape and copies its contents in one
   /// pass, reusing the backing storage when possible.
   void ResetCopyOf(const Matrix& src);
+
+  /// Elements the backing storage can hold without reallocating (>=
+  /// size(); survives shrinking Resets). MatrixPool keys its free list
+  /// by this, so recycled buffers keep serving smaller shapes.
+  int64_t capacity() const { return static_cast<int64_t>(data_.capacity()); }
 
   /// In-place elementwise operations (shape must match exactly).
   Matrix& operator+=(const Matrix& other);

@@ -1,17 +1,25 @@
 #include "tensor/pool.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace sbrl {
 
 Matrix MatrixPool::Take(int64_t size) {
-  auto it = free_.find(size);
-  if (it == free_.end() || it->second.empty()) {
+  outstanding_ += size;
+  if (outstanding_ > demand_high_water_) demand_high_water_ = outstanding_;
+  // Smallest parked capacity that can hold the request. An oversized
+  // buffer shrinks in the caller's Reset* without reallocating and
+  // returns here keyed by its (unchanged) capacity.
+  auto it = free_.lower_bound(size);
+  if (it == free_.end()) {
     ++alloc_count_;
     return Matrix();
   }
   Matrix m = std::move(it->second.back());
   it->second.pop_back();
+  free_elements_ -= it->first;
+  if (it->second.empty()) free_.erase(it);
   --free_count_;
   ++reuse_count_;
   return m;
@@ -30,11 +38,21 @@ Matrix MatrixPool::AcquireCopy(const Matrix& src) {
 }
 
 void MatrixPool::Release(Matrix&& m) {
-  if (m.size() == 0) return;
-  std::vector<Matrix>& list = free_[m.size()];
+  const int64_t capacity = m.capacity();
+  if (capacity == 0) return;
+  outstanding_ -= capacity;
+  if (outstanding_ < 0) outstanding_ = 0;
+  // Demand-bounded parking: beyond a small multiple of the largest
+  // working set ever observed, returned storage goes back to the
+  // allocator instead of the free list (see the class comment).
+  const int64_t budget =
+      std::max(kMinFreeElements, kFreeBudgetFactor * demand_high_water_);
+  if (free_elements_ + capacity > budget) return;
+  std::vector<Matrix>& list = free_[capacity];
   if (list.size() >= kMaxFreePerSize) return;  // drop: bounded memory
   list.push_back(std::move(m));
   ++free_count_;
+  free_elements_ += capacity;
 }
 
 }  // namespace sbrl

@@ -2,14 +2,15 @@
 #define SBRL_TENSOR_POOL_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "tensor/matrix.h"
 
 namespace sbrl {
 
-/// Free-list of Matrix buffers keyed by element count.
+/// Free-list of Matrix buffers keyed by storage capacity, served
+/// best-fit (smallest parked capacity that holds the request).
 ///
 /// The training loop rebuilds an autodiff tape every iteration with the
 /// same node shapes; without recycling, every node value, gradient, and
@@ -17,6 +18,27 @@ namespace sbrl {
 /// the trainer outlives the per-iteration tapes: each Tape hands its
 /// buffers back on destruction and the next iteration's tape re-acquires
 /// them, so steady-state training performs no matrix allocations at all.
+///
+/// Best-fit (rather than exact-size) matching matters for shapes that
+/// vary between tapes: TARNet-style backbones split rows by treatment
+/// arm, so consecutive shards of the out-of-core path request
+/// (treated_k x width) buffers whose element counts almost never
+/// repeat. An exact-size free list parks every one of them forever —
+/// unbounded growth — while best-fit keeps serving the varying
+/// requests from the same parked storage, so the free list saturates
+/// at roughly one tape's working set.
+///
+/// The parked total is additionally bounded by DEMAND, not by a fixed
+/// constant: the pool tracks the high-water mark of concurrently
+/// checked-out elements (one tape's working set) and refuses to park
+/// beyond a small multiple of it. Buffers that entered the tape from
+/// plain allocations (e.g. `Tape::Constant(Matrix::Ones(...))`) arrive
+/// at Release without a matching Take; without the demand bound they
+/// would grow the free list by a few buffers per tape forever — the
+/// O(n) creep that broke the out-of-core path's "peak RSS bounded by
+/// shard size" guarantee. Dropped buffers simply return to the
+/// allocator; values are never affected (pool storage is
+/// value-transparent by contract).
 ///
 /// Not thread-safe: a pool belongs to the single thread that builds and
 /// destroys tapes (kernels parallelize *inside* ops, never across them).
@@ -26,36 +48,55 @@ class MatrixPool {
   MatrixPool(const MatrixPool&) = delete;
   MatrixPool& operator=(const MatrixPool&) = delete;
 
-  /// Zeroed (rows x cols) matrix, recycling a free buffer of the same
-  /// element count when one exists.
+  /// Zeroed (rows x cols) matrix, recycling the best-fitting free
+  /// buffer when one exists.
   Matrix AcquireZero(int64_t rows, int64_t cols);
 
-  /// Copy of `src`, recycling a free buffer when one exists.
+  /// Copy of `src`, recycling the best-fitting free buffer when one
+  /// exists.
   Matrix AcquireCopy(const Matrix& src);
 
-  /// Returns a matrix's storage to the free list. Accepts empty
-  /// matrices (no-op) so callers can release unconditionally.
+  /// Returns a matrix's storage to the free list (keyed by its
+  /// capacity). Accepts empty matrices (no-op) so callers can release
+  /// unconditionally.
   void Release(Matrix&& m);
 
   /// Buffers currently parked in the free list.
   int64_t free_count() const { return free_count_; }
+  /// Elements currently parked in the free list (capacity sum).
+  int64_t free_elements() const { return free_elements_; }
   /// Acquires served from the free list / via fresh allocation.
   int64_t reuse_count() const { return reuse_count_; }
   /// Acquires that had to allocate fresh storage.
   int64_t alloc_count() const { return alloc_count_; }
 
+  /// High-water mark of concurrently checked-out elements — the
+  /// demand estimate that bounds how much the free list may park.
+  int64_t demand_high_water() const { return demand_high_water_; }
+
  private:
-  /// Pops a free buffer with exactly `size` elements, or an empty
-  /// matrix when none is available.
+  /// Pops the free buffer with the smallest capacity >= `size`, or an
+  /// empty matrix when none is available.
   Matrix Take(int64_t size);
 
-  // Per-size cap so a one-off giant tape cannot pin memory forever.
+  // Per-capacity cap so a one-off giant tape cannot pin memory forever.
   static constexpr size_t kMaxFreePerSize = 256;
+  // Park at most this multiple of the demand high-water mark...
+  static constexpr int64_t kFreeBudgetFactor = 2;
+  // ...but never refuse below this floor (tiny pools shouldn't thrash).
+  static constexpr int64_t kMinFreeElements = int64_t{1} << 20;  // 8 MiB
 
-  std::unordered_map<int64_t, std::vector<Matrix>> free_;
+  /// Ordered by capacity so Take can lower_bound the best fit.
+  std::map<int64_t, std::vector<Matrix>> free_;
   int64_t free_count_ = 0;
+  int64_t free_elements_ = 0;
   int64_t reuse_count_ = 0;
   int64_t alloc_count_ = 0;
+  /// Elements currently checked out (Takes minus Releases, floored at
+  /// zero — plain-allocated buffers released without a matching Take
+  /// must not drive it negative).
+  int64_t outstanding_ = 0;
+  int64_t demand_high_water_ = 0;
 };
 
 }  // namespace sbrl

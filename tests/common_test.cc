@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+
 #include "common/check.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/status.h"
 #include "common/statusor.h"
@@ -139,6 +143,54 @@ TEST(TimerTest, MeasuresElapsedTime) {
   const double before = timer.ElapsedSeconds();
   timer.Restart();
   EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(EnvTest, ParseInt64AcceptsStrictBase10) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("+5"), 5);  // strtol-era knobs accepted this
+  EXPECT_EQ(*ParseInt64("  12  "), 12);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(EnvTest, ParseInt64RejectsJunkAndOverflow) {
+  EXPECT_EQ(ParseInt64("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("   ").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("12x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("1.5").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("0x10").status().code(),
+            StatusCode::kInvalidArgument);
+  // Unchecked strtoll silently saturated these to LLONG_MAX.
+  EXPECT_EQ(ParseInt64("9223372036854775808").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseInt64("99999999999999999999").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(EnvTest, ParseEnvInt64ResolutionSemantics) {
+  const char* name = "SBRL_TEST_ENV_KNOB";
+  unsetenv(name);
+  EXPECT_EQ(ParseEnvInt64(name, 1, 37), 37);  // unset -> fallback
+  setenv(name, "", /*overwrite=*/1);
+  EXPECT_EQ(ParseEnvInt64(name, 1, 37), 37);  // empty -> fallback
+  setenv(name, "12", 1);
+  EXPECT_EQ(ParseEnvInt64(name, 1, 37), 12);
+  setenv(name, "garbage", 1);
+  EXPECT_EQ(ParseEnvInt64(name, 1, 37), 37);  // malformed -> fallback
+  setenv(name, "9223372036854775808", 1);
+  EXPECT_EQ(ParseEnvInt64(name, 1, 37), 37);  // overflow -> fallback
+  setenv(name, "0", 1);
+  EXPECT_EQ(ParseEnvInt64(name, 1, 37), 37);  // below min -> fallback
+  setenv(name, "-4", 1);
+  EXPECT_EQ(ParseEnvInt64(name, -10, 37), -4);  // min is a parameter
+  unsetenv(name);
 }
 
 TEST(LoggingTest, LevelFilterRoundTrips) {

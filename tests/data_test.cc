@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <numeric>
 
 #include "data/causal_dataset.h"
@@ -428,6 +430,94 @@ TEST(CausalDatasetTest, ValidateRejectsNonFiniteValues) {
     EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
   }
   EXPECT_TRUE(TinyDataset().Validate().ok());
+}
+
+// numpunct facet that renders the decimal point as a comma — the
+// hostile half of a de_DE-style locale, available on every container
+// (named locales like de_DE.UTF-8 often are not installed).
+class CommaDecimalPoint : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+};
+
+// RAII: installs a comma-decimal global locale (C++ streams AND the C
+// locale strtod reads) for one test body, restoring both on exit.
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale()
+      : previous_cpp_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimalPoint))),
+        previous_c_(std::setlocale(LC_NUMERIC, nullptr)) {
+    // Best-effort C-locale switch too: protects the loader against a
+    // regression to strtod, which honors LC_NUMERIC. Skipped silently
+    // when no comma-decimal locale is installed.
+    for (const char* name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) break;
+    }
+  }
+  ~ScopedCommaLocale() {
+    std::setlocale(LC_NUMERIC, previous_c_.c_str());
+    std::locale::global(previous_cpp_);
+  }
+
+ private:
+  std::locale previous_cpp_;
+  std::string previous_c_;
+};
+
+TEST(CsvTest, RoundTripSurvivesCommaDecimalLocale) {
+  // Under an unpatched writer, ofstream picks up the global locale and
+  // emits "0,5" — which the loader then (rightly) rejects as a field
+  // count mismatch. The writer must imbue the classic locale and the
+  // parser must be locale-independent.
+  ScopedCommaLocale comma_locale;
+  CausalDataset d = TinyDataset();
+  d.x(0, 0) = 1.5;
+  d.y(1, 0) = 0.25;
+  const std::string path = "/tmp/sbrl_csv_locale.csv";
+  ASSERT_TRUE(SaveCausalDatasetCsv(d, path).ok());
+  auto loaded = LoadCausalDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(AllClose(loaded->x, d.x, 0.0));
+  EXPECT_TRUE(AllClose(loaded->y, d.y, 0.0));
+  EXPECT_TRUE(AllClose(loaded->mu0, d.mu0, 0.0));
+  EXPECT_TRUE(AllClose(loaded->mu1, d.mu1, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RandomRoundTripIsBitwise) {
+  // precision(17) + locale-independent parse: doubles survive the
+  // round trip bit for bit, including awkward magnitudes.
+  SyntheticDims dims;
+  const SyntheticModel model(dims, 5);
+  CausalDataset d = model.SampleUnbiased(64, 8);
+  d.x(0, 0) = 1e-300;
+  d.x(1, 0) = -9.87654321e250;
+  d.x(2, 0) = std::numeric_limits<double>::denorm_min();
+  d.x(3, 0) = std::numeric_limits<double>::max();
+  const std::string path = "/tmp/sbrl_csv_bitwise.csv";
+  ASSERT_TRUE(SaveCausalDatasetCsv(d, path).ok());
+  auto loaded = LoadCausalDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(AllClose(loaded->x, d.x, 0.0));
+  EXPECT_TRUE(AllClose(loaded->y, d.y, 0.0));
+  EXPECT_EQ(loaded->t, d.t);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, OverflowingFieldRejected) {
+  const std::string path = "/tmp/sbrl_csv_overflow.csv";
+  {
+    std::ofstream out(path);
+    out << "x0,t,y,mu0,mu1\n";
+    out << "1e999,0,0.5,0.0,1.0\n";  // overflows double
+  }
+  auto result = LoadCausalDatasetCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
 }
 
 TEST(CsvTest, NonBinaryTreatmentRejected) {

@@ -94,6 +94,12 @@ TEST_F(FaultRegistryTest, SpecRejectsMalformedEntries) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(ArmFaultsFromSpec("site:x").code(),
             StatusCode::kInvalidArgument);
+  // Overflowing hit counts are rejected, not silently saturated to
+  // LLONG_MAX (the old strtoll behavior).
+  EXPECT_EQ(ArmFaultsFromSpec("site:9223372036854775808").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFaultsFromSpec("site:99999999999999999999+").code(),
+            StatusCode::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------------

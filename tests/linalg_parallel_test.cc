@@ -169,6 +169,40 @@ TEST(MatrixPoolTest, RecyclesBuffersOfMatchingSize) {
   EXPECT_EQ(pool.free_count(), 2);
 }
 
+TEST(MatrixPoolTest, BestFitServesSmallerRequests) {
+  // Arm-split shapes vary per shard in the out-of-core path; a parked
+  // buffer must keep serving smaller requests (best fit), not only
+  // exact element-count matches.
+  MatrixPool pool;
+  Matrix big = pool.AcquireZero(100, 8);
+  const double* storage = big.data();
+  pool.Release(std::move(big));
+  Matrix smaller = pool.AcquireZero(73, 8);  // different element count
+  EXPECT_EQ(pool.reuse_count(), 1);
+  EXPECT_EQ(smaller.data(), storage);
+  for (int64_t i = 0; i < smaller.size(); ++i) ASSERT_EQ(smaller[i], 0.0);
+  // The shrunken buffer keeps its capacity and goes on serving.
+  pool.Release(std::move(smaller));
+  Matrix again = pool.AcquireZero(90, 8);
+  EXPECT_EQ(pool.reuse_count(), 2);
+  EXPECT_EQ(again.data(), storage);
+}
+
+TEST(MatrixPoolTest, ParkingIsDemandBounded) {
+  // Buffers released without a matching acquire (plain-allocated tape
+  // constants) must not grow the free list without bound: parking stops
+  // at max(floor, 2x the demand high-water mark).
+  MatrixPool pool;
+  const int64_t floor_elements = int64_t{1} << 20;
+  const int64_t chunk = 1 << 16;
+  // No demand yet: the floor is the budget.
+  for (int64_t parked = 0; parked < 4 * floor_elements; parked += chunk) {
+    pool.Release(Matrix(chunk, 1));
+  }
+  EXPECT_LE(pool.free_elements(), floor_elements);
+  EXPECT_GE(pool.free_elements(), floor_elements - chunk);
+}
+
 TEST(MatrixPoolTest, AcquireCopyMatchesSource) {
   MatrixPool pool;
   Rng rng(48);

@@ -191,6 +191,29 @@ TEST(ServingConcurrencyTest, EnvKnobsResolveWhenOptionsAreDefault) {
   }
 }
 
+TEST(ServingConcurrencyTest, MalformedEnvKnobsFallBackToDefaults) {
+  const ServingModel model = MakeModel();
+  // Garbage and overflow must resolve to the defaults — old strtoll
+  // parsing turned the overflow case into LLONG_MAX.
+  setenv("SBRL_SERVE_MAX_BATCH", "many", /*overwrite=*/1);
+  setenv("SBRL_SERVE_MAX_WAIT_US", "9223372036854775808", 1);
+  {
+    MicroBatcher batcher(&model);
+    EXPECT_EQ(batcher.max_batch(), 32);
+    EXPECT_EQ(batcher.max_wait_us(), 200);
+  }
+  // Below-minimum values are rejected the same way.
+  setenv("SBRL_SERVE_MAX_BATCH", "0", 1);
+  setenv("SBRL_SERVE_MAX_WAIT_US", "-5", 1);
+  {
+    MicroBatcher batcher(&model);
+    EXPECT_EQ(batcher.max_batch(), 32);
+    EXPECT_EQ(batcher.max_wait_us(), 200);
+  }
+  unsetenv("SBRL_SERVE_MAX_BATCH");
+  unsetenv("SBRL_SERVE_MAX_WAIT_US");
+}
+
 TEST(ServingConcurrencyTest, ShutdownIsIdempotent) {
   const ServingModel model = MakeModel();
   MicroBatcher batcher(&model);
