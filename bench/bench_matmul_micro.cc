@@ -19,6 +19,8 @@
 #include "common/timer.h"
 #include "harness.h"
 #include "tensor/linalg.h"
+#include "tensor/linalg_f32.h"
+#include "tensor/matrix_f32.h"
 #include "tensor/random.h"
 
 namespace sbrl {
@@ -38,6 +40,17 @@ double TimeOp(const std::function<Matrix()>& op, int reps, Matrix* witness) {
   for (int r = 0; r < reps; ++r) {
     Matrix out = op();
     g_sink = g_sink + out.data()[0];
+  }
+  return t.ElapsedSeconds() / reps;
+}
+
+double TimeOpF32(const std::function<MatrixF32()>& op, int reps,
+                 MatrixF32* witness) {
+  *witness = op();  // warm-up, kept for the correctness check
+  Timer t;
+  for (int r = 0; r < reps; ++r) {
+    MatrixF32 out = op();
+    g_sink = g_sink + static_cast<double>(out.data()[0]);
   }
   return t.ElapsedSeconds() / reps;
 }
@@ -91,7 +104,13 @@ int Main() {
     // Per-ISA sweep of the same product: every level the host supports,
     // forced via SetActiveIsa, so BENCH_matmul_micro.json tracks the
     // dispatch win (and each level's result is re-checked against the
-    // reference). The auto-resolved level is restored afterwards.
+    // reference). The trans_b lane tracks the blocked-panel wide
+    // kernel, and the f32 lanes the float kernel family on the same
+    // tables (checked against the f64 reference under the tier's
+    // rounding budget). The auto-resolved level is restored afterwards.
+    const MatrixF32 a32 = MatrixF32::FromF64(a);
+    const MatrixF32 b32 = MatrixF32::FromF64(b);
+    const MatrixF32 bt32 = MatrixF32::FromF64(bt);
     for (Isa isa : {Isa::kBaseline, Isa::kAvx2, Isa::kAvx512}) {
       if (isa > MaxSupportedIsa()) continue;
       // A SBRL_ISA env override outranks the forced choice; skip levels
@@ -107,7 +126,30 @@ int Main() {
           << IsaName(isa) << " Matmul diverges from reference at " << tag;
       json.Record(std::string("matmul_tiled_") + IsaName(isa) + "/" + tag,
                   isa_s);
-      std::cout << "  " << IsaName(isa) << ": " << isa_s * 1e3 << " ms\n";
+      const double tb_s = TimeOp([&] { return MatmulTransB(a, bt); }, reps,
+                                 &isa_out);
+      SBRL_CHECK(AllClose(ref_out, isa_out, 1e-9))
+          << IsaName(isa) << " MatmulTransB diverges at " << tag;
+      json.Record(std::string("matmul_trans_b_") + IsaName(isa) + "/" + tag,
+                  tb_s);
+      MatrixF32 f32_out;
+      const double f32_s = TimeOpF32([&] { return MatmulF32(a32, b32); },
+                                     reps, &f32_out);
+      SBRL_CHECK(AllClose(ref_out, f32_out.ToF64(), 5e-3))
+          << IsaName(isa) << " MatmulF32 diverges at " << tag;
+      json.Record(std::string("matmul_f32_") + IsaName(isa) + "/" + tag,
+                  f32_s);
+      const double tb32_s = TimeOpF32(
+          [&] { return MatmulTransBF32(a32, bt32); }, reps, &f32_out);
+      SBRL_CHECK(AllClose(ref_out, f32_out.ToF64(), 5e-3))
+          << IsaName(isa) << " MatmulTransBF32 diverges at " << tag;
+      json.Record(std::string("matmul_trans_b_f32_") + IsaName(isa) + "/" +
+                      tag,
+                  tb32_s);
+      std::cout << "  " << IsaName(isa) << ": " << isa_s * 1e3
+                << " ms (trans_b " << tb_s * 1e3 << " ms, f32 "
+                << f32_s * 1e3 << " ms, trans_b f32 " << tb32_s * 1e3
+                << " ms)\n";
     }
     SetActiveIsa(IsaChoice::kAuto);
   }

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: builds the default and sanitized configurations and
 # runs the tier-1 suite (which includes the threads2, isa_baseline,
-# faults, serving, and large_n variants), then the sanitizer subset
-# (now including the CSV/streaming loader suites) plus the fault
-# drills and serving format suite under asan/ubsan, and the
-# ThreadSanitizer subset (which includes the serving micro-batcher
-# concurrency suite). Mirrors the ROADMAP verify line;
+# faults, serving, large_n, and precision variants), then the
+# sanitizer subset (now including the CSV/streaming loader suites)
+# plus the fault drills, serving format suite, and precision-tier
+# suite under asan/ubsan, and the ThreadSanitizer subset (which
+# includes the serving micro-batcher concurrency suite). Mirrors the ROADMAP verify line;
 # .github/workflows/ci.yml calls this script, and it runs unchanged on
 # any box with cmake + gcc/clang + gtest (google-benchmark and doxygen
 # are optional — the corresponding targets/tests skip when absent).
@@ -35,6 +35,10 @@ ctest --test-dir "${PREFIX}" -L serving --output-on-failure -j "${JOBS}"
 # large-n smoke guard); tier1-labeled, run explicitly as a labeling
 # guard.
 ctest --test-dir "${PREFIX}" -L large_n --output-on-failure -j "${JOBS}"
+# Precision tier (f32 serving + streaming-stats error budgets, its
+# threads2/isa_baseline variants, the serving bench's f32 lanes);
+# tier1-labeled, run explicitly as a labeling guard.
+ctest --test-dir "${PREFIX}" -L precision --output-on-failure -j "${JOBS}"
 
 echo "=== sanitized configuration (address,undefined) ==="
 cmake -B "${PREFIX}-sanitize" -S . -DSBRL_SANITIZE=address,undefined
@@ -49,6 +53,10 @@ ctest --test-dir "${PREFIX}-sanitize" -L faults --output-on-failure \
 # The serving format suite rides along sanitized for the same reason
 # (serve/write + serve/read fault sites over raw byte buffers).
 ctest --test-dir "${PREFIX}-sanitize" -L serving --output-on-failure \
+      -j "${JOBS}"
+# The f32 tier's kernels under asan/ubsan: the wide kernels' tail
+# lanes and the narrow/widen staging buffers are the risk surface.
+ctest --test-dir "${PREFIX}-sanitize" -L precision --output-on-failure \
       -j "${JOBS}"
 
 echo "=== sanitized configuration (thread) ==="

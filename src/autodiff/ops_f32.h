@@ -1,0 +1,41 @@
+#ifndef SBRL_AUTODIFF_OPS_F32_H_
+#define SBRL_AUTODIFF_OPS_F32_H_
+
+#include "autodiff/ops.h"
+#include "tensor/matrix_f32.h"
+
+namespace sbrl {
+namespace ops {
+
+/// f32 twins of the tape-free serving value kernels (see the f64
+/// originals in autodiff/ops.h). Each restates its f64 twin's loop
+/// shape on floats — matmuls through the LinalgKernelsF32 tables,
+/// activations and normalizations in float math — so the f32 serving
+/// forward is deterministic per ISA level while tracking the f64
+/// scorer only to the per-kernel budgets documented in
+/// tests/precision_test.cc. Training never calls these.
+
+/// f32 act(x W + b): the f32 fused-affine forward.
+MatrixF32 AffineActValueF32(const MatrixF32& x, const MatrixF32& w,
+                            const MatrixF32& b, ActKind act);
+
+/// f32 frozen-statistics batch-norm affine forward:
+/// act(((x W + b) - running_mean) * inv_std * gamma + beta), with
+/// inv_std computed as 1/sqrt(var + eps) in float.
+MatrixF32 AffineBatchNormInferActValueF32(
+    const MatrixF32& x, const MatrixF32& w, const MatrixF32& b,
+    const MatrixF32& gamma, const MatrixF32& beta,
+    const MatrixF32& running_mean, const MatrixF32& running_var, double eps,
+    ActKind act);
+
+/// f32 row L2 normalization a(r, :) / sqrt(|a(r, :)|^2 + eps),
+/// ascending-column accumulation like the f64 kernel.
+MatrixF32 NormalizeRowsValueF32(const MatrixF32& a, double eps = 1e-9);
+
+/// f32 horizontal concatenation [a | b].
+MatrixF32 ConcatColsValueF32(const MatrixF32& a, const MatrixF32& b);
+
+}  // namespace ops
+}  // namespace sbrl
+
+#endif  // SBRL_AUTODIFF_OPS_F32_H_

@@ -1,0 +1,36 @@
+#include "common/precision.h"
+
+#include <cstdlib>
+
+namespace sbrl {
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kF64: return "f64";
+    case Precision::kF32: return "f32";
+  }
+  return "f64";
+}
+
+bool ParsePrecision(const std::string& text, Precision* out) {
+  if (text == "f64") {
+    *out = Precision::kF64;
+    return true;
+  }
+  if (text == "f32") {
+    *out = Precision::kF32;
+    return true;
+  }
+  return false;
+}
+
+Precision ResolvePrecision(Precision fallback) {
+  const char* env = std::getenv("SBRL_PRECISION");
+  if (env != nullptr) {
+    Precision parsed;
+    if (ParsePrecision(env, &parsed)) return parsed;
+  }
+  return fallback;
+}
+
+}  // namespace sbrl

@@ -1,0 +1,42 @@
+#ifndef SBRL_COMMON_PRECISION_H_
+#define SBRL_COMMON_PRECISION_H_
+
+#include <string>
+
+namespace sbrl {
+
+/// Numeric storage tier of a compute path. Follows the repo's
+/// mode-knob pattern (CosineMode / BatchedHsicMode / NetStepMode): a
+/// reference tier that every contract is stated against, plus a cheap
+/// tier that is opt-in per path and tolerance-bounded against the
+/// reference.
+///
+/// The tier governs STORAGE width only. Paths that run under kF32
+/// still accumulate long reductions (column moments, HSIC cross
+/// products, matmul dot chains where the error budget demands it) in
+/// double — see ARCHITECTURE.md "Precision tiers" for the per-path
+/// budget table. Training always runs kF64: the bitwise
+/// cross-ISA/cross-thread training contract is stated on doubles and
+/// is not renegotiated by this knob.
+enum class Precision {
+  kF64,  ///< double storage everywhere — reference tier, the default.
+  kF32,  ///< float storage on eligible serving / streaming-stats paths.
+};
+
+/// "f64" / "f32" — used in logs, bench JSON lane names, and knob
+/// round-tripping.
+const char* PrecisionName(Precision p);
+
+/// Parses "f64" / "f32" (exact match). Returns false on anything else
+/// and leaves `*out` untouched.
+bool ParsePrecision(const std::string& text, Precision* out);
+
+/// Resolves the effective tier: SBRL_PRECISION env var when set to a
+/// valid name (takes precedence, same override pattern as SBRL_ISA /
+/// SBRL_RECOVERY), otherwise `fallback`. An invalid env value is
+/// ignored, not fatal — the reference tier is always a safe answer.
+Precision ResolvePrecision(Precision fallback);
+
+}  // namespace sbrl
+
+#endif  // SBRL_COMMON_PRECISION_H_

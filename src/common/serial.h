@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "tensor/matrix.h"
+#include "tensor/matrix_f32.h"
 
 namespace sbrl {
 namespace serial {
@@ -43,6 +44,10 @@ void AppendString(std::string* out, const std::string& s);
 /// Appends u64 rows, u64 cols, then the row-major f64 payload of `m`.
 void AppendMatrix(std::string* out, const Matrix& m);
 
+/// Appends u64 rows, u64 cols, then the row-major f32 payload of `m`
+/// (the serving model's optional f32 weights section).
+void AppendMatrixF32(std::string* out, const MatrixF32& m);
+
 /// Appends a u64 element count followed by the raw f64 payload of `v`.
 void AppendDoubleVector(std::string* out, const std::vector<double>& v);
 
@@ -71,6 +76,10 @@ class ByteReader {
   /// Reads a shape-prefixed matrix written by AppendMatrix. Rejects
   /// shapes beyond 2^30 per dimension (corrupted-size overflow guard).
   bool ReadMatrix(Matrix* out);
+
+  /// Reads a shape-prefixed f32 matrix written by AppendMatrixF32,
+  /// with the same 2^30-per-dimension overflow guard.
+  bool ReadMatrixF32(MatrixF32* out);
 
   /// Reads a count-prefixed f64 vector written by AppendDoubleVector.
   bool ReadDoubleVector(std::vector<double>* out);

@@ -74,6 +74,26 @@ void ScaledCosInPlace(double* x, int64_t n, double scale, CosineMode mode);
 void ScaledCosRowsInPlace(double* x, int64_t rows, int64_t cols,
                           int64_t stride, double scale, CosineMode mode);
 
+/// f32 twin of ScaledCosRowsInPlace for the f32 serving tier: same
+/// strided-row contract and block alignment, swept through the f32
+/// libmvec cosine (_ZGVbN4v_cosf / _ZGVdN8v_cosf / _ZGVeN16v_cosf per
+/// ISA level) in kVectorized mode, scalar float std::cos in kExact.
+/// The kVecCosMaxUlp bound holds restated on float spacing.
+void ScaledCosRowsF32InPlace(float* x, int64_t rows, int64_t cols,
+                             int64_t stride, float scale, CosineMode mode);
+
+/// In-place f32 ELU sweep x[i] = x[i] > 0 ? x[i] : exp(x[i]) - 1 for
+/// the f32 serving tier's tape-free value kernels, routed through the
+/// per-ISA vectorized exponential (_ZGVbN4v_expf / _ZGVdN8v_expf /
+/// _ZGVeN16v_expf). The negative branch evaluates exp(x) - 1 rather
+/// than expm1 (libmvec carries no expm1f), costing at most ~1.2e-7
+/// absolute error near zero on top of expf's 4-ulp bound — inside the
+/// f32 tier's documented rounding budget (the bitwise f64 tier keeps
+/// scalar expm1). Elementwise and chunked on kCosSweepBlock boundaries
+/// like the cosine sweeps, so results are bitwise invariant to the
+/// worker-thread count at a fixed ISA level.
+void EluF32InPlace(float* x, int64_t n);
+
 /// Monotonically increasing PER-THREAD total of wall-clock seconds
 /// spent inside the cosine sweeps above, measured on the thread that
 /// issued them (the sweep blocks its caller, so pool fan-out time is

@@ -23,5 +23,28 @@ void ScaledCosSerialInPlace(double* x, int64_t n, double scale) {
   for (int64_t i = 0; i < n; ++i) x[i] = scale * std::cos(x[i]);
 }
 
+// f32 twin for the f32 serving tier: cosf lowers to the 4-lane SSE
+// libmvec variant (_ZGVbN4v_cosf) under the same flags, with the same
+// 4-ulp bound stated on float spacing.
+void ScaledCosSerialInPlaceF32(float* x, int64_t n, float scale) {
+  for (int64_t i = 0; i < n; ++i) x[i] = scale * std::cos(x[i]);
+}
+
+// f32 ELU sweep for the tape-free serving kernels, written branchless
+// (max(v,0) + expf(min(v,0)) - 1) so if-conversion leaves a plain
+// vectorizable expf call that lowers to libmvec (_ZGVbN4v_expf here).
+// libmvec has no expm1f, so the negative branch is exp(v) - 1: near
+// zero that costs up to one ulp of 1 in absolute error (~1.2e-7) where
+// expm1 would be exact — inside the f32 tier's rounding budget, which
+// is why the f64 tier (bitwise expm1) stays the reference.
+void EluSerialInPlaceF32(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float neg = std::exp(v < 0.0f ? v : 0.0f) - 1.0f;
+    const float pos = v > 0.0f ? v : 0.0f;
+    x[i] = pos + neg;
+  }
+}
+
 }  // namespace simd_detail
 }  // namespace sbrl

@@ -50,9 +50,9 @@ bool ParseCsvDouble(const std::string& field, double* out) {
 
 // Appends rows [begin, begin + count) of `src` to flat column staging.
 void AppendRowRange(const CausalDataset& src, int64_t begin, int64_t count,
-                    std::vector<double>* x_flat, std::vector<int>* t,
-                    std::vector<double>* y, std::vector<double>* mu0,
-                    std::vector<double>* mu1) {
+                    AlignedVector<double>* x_flat, std::vector<int>* t,
+                    AlignedVector<double>* y, AlignedVector<double>* mu0,
+                    AlignedVector<double>* mu1) {
   const int64_t d = src.dim();
   const double* x_rows = src.x.data() + begin * d;
   x_flat->insert(x_flat->end(), x_rows, x_rows + count * d);
@@ -67,9 +67,9 @@ void AppendRowRange(const CausalDataset& src, int64_t begin, int64_t count,
 
 // Builds `*block` from flat column staging (consuming it).
 void BuildBlock(int64_t rows, int64_t d, bool binary_outcome,
-                std::vector<double>&& x_flat, std::vector<int>&& t,
-                std::vector<double>&& y, std::vector<double>&& mu0,
-                std::vector<double>&& mu1, CausalDataset* block) {
+                AlignedVector<double>&& x_flat, std::vector<int>&& t,
+                AlignedVector<double>&& y, AlignedVector<double>&& mu0,
+                AlignedVector<double>&& mu1, CausalDataset* block) {
   block->x = Matrix::FromFlat(rows, d, std::move(x_flat));
   block->t = std::move(t);
   block->y = Matrix::FromFlat(rows, 1, std::move(y));
@@ -284,6 +284,23 @@ Status SyntheticBlockReader::Reset() {
 }
 
 // ---------------------------------------------------------------------------
+// NextBlockF32
+// ---------------------------------------------------------------------------
+
+StatusOr<int64_t> NextBlockF32(DatasetBlockReader& reader, int64_t max_rows,
+                               CausalDataset* stage, CausalBlockF32* block) {
+  SBRL_CHECK(stage != nullptr);
+  SBRL_CHECK(block != nullptr);
+  SBRL_ASSIGN_OR_RETURN(const int64_t rows, reader.NextBlock(max_rows, stage));
+  if (rows == 0) return rows;
+  block->x.ResetNarrowOf(stage->x);
+  block->t = stage->t;
+  block->y.ResetCopyOf(stage->y);
+  block->binary_outcome = stage->binary_outcome;
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
 // ReadAllRows
 // ---------------------------------------------------------------------------
 
@@ -291,9 +308,9 @@ StatusOr<CausalDataset> ReadAllRows(DatasetBlockReader& reader,
                                     int64_t block_rows) {
   SBRL_CHECK_GE(block_rows, 1);
   const int64_t d = reader.dim();
-  std::vector<double> x_flat;
+  AlignedVector<double> x_flat;
   std::vector<int> t;
-  std::vector<double> y, mu0, mu1;
+  AlignedVector<double> y, mu0, mu1;
   CausalDataset block;
   int64_t total = 0;
   for (;;) {

@@ -28,6 +28,7 @@ constexpr uint32_t kSectionMeta = 1;
 constexpr uint32_t kSectionWeights = 2;
 constexpr uint32_t kSectionState = 3;
 constexpr uint32_t kSectionOod = 4;
+constexpr uint32_t kSectionWeightsF32 = 5;
 
 std::string EncodeMeta(const ServingMeta& meta) {
   std::string out;
@@ -112,6 +113,33 @@ bool DecodeNamedMatrices(ByteReader* reader, std::vector<NamedMatrix>* out) {
   return reader->exhausted();
 }
 
+std::string EncodeNamedMatricesF32(const std::vector<NamedMatrixF32>& items) {
+  std::string out;
+  AppendScalar<uint64_t>(&out, items.size());
+  for (const NamedMatrixF32& item : items) {
+    AppendString(&out, item.name);
+    serial::AppendMatrixF32(&out, item.value);
+  }
+  return out;
+}
+
+bool DecodeNamedMatricesF32(ByteReader* reader,
+                            std::vector<NamedMatrixF32>* out) {
+  uint64_t count = 0;
+  if (!reader->ReadScalar(&count)) return false;
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    NamedMatrixF32 item;
+    if (!reader->ReadString(&item.name) ||
+        !reader->ReadMatrixF32(&item.value)) {
+      return false;
+    }
+    out->push_back(std::move(item));
+  }
+  return reader->exhausted();
+}
+
 std::string EncodeOod(const OodLevelDetector::State& state) {
   std::string out;
   AppendScalar<int64_t>(&out, state.options.calibration_rounds);
@@ -165,6 +193,10 @@ Status SaveServingModel(const ServingModelData& data,
   if (data.has_ood) {
     sections.push_back({kSectionOod, EncodeOod(data.ood)});
   }
+  if (data.has_f32) {
+    sections.push_back(
+        {kSectionWeightsF32, EncodeNamedMatricesF32(data.weights_f32)});
+  }
   return serial::WriteSectionedFile(kServingFormat, sections, path);
 }
 
@@ -193,6 +225,10 @@ StatusOr<ServingModelData> LoadServingModel(const std::string& path) {
         decoded = DecodeOod(&reader, &data.ood);
         data.has_ood = decoded;
         break;
+      case kSectionWeightsF32:
+        decoded = DecodeNamedMatricesF32(&reader, &data.weights_f32);
+        data.has_f32 = decoded;
+        break;
       default:
         // Unknown sections are a forward-compat error at version parity:
         // same version must mean same sections.
@@ -212,7 +248,8 @@ StatusOr<ServingModelData> LoadServingModel(const std::string& path) {
 }
 
 StatusOr<ServingModelData> ExportServingData(
-    HteEstimator& estimator, const OodLevelDetector* ood_detector) {
+    HteEstimator& estimator, const OodLevelDetector* ood_detector,
+    bool include_f32) {
   if (!estimator.fitted()) {
     return Status::FailedPrecondition(
         "cannot export an unfitted estimator as a serving model");
@@ -245,14 +282,22 @@ StatusOr<ServingModelData> ExportServingData(
     data.has_ood = true;
     data.ood = ood_detector->ExportState();
   }
+  if (include_f32) {
+    data.has_f32 = true;
+    data.weights_f32.reserve(data.weights.size());
+    for (const NamedMatrix& item : data.weights) {
+      data.weights_f32.push_back({item.name, MatrixF32::FromF64(item.value)});
+    }
+  }
   return data;
 }
 
 Status ExportServingModel(HteEstimator& estimator,
                           const OodLevelDetector* ood_detector,
-                          const std::string& path) {
+                          const std::string& path, bool include_f32) {
   SBRL_ASSIGN_OR_RETURN(ServingModelData data,
-                        ExportServingData(estimator, ood_detector));
+                        ExportServingData(estimator, ood_detector,
+                                          include_f32));
   return SaveServingModel(data, path);
 }
 

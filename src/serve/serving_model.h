@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "common/precision.h"
 #include "common/statusor.h"
 #include "core/ood_detector.h"
 #include "serve/model_format.h"
 #include "tensor/matrix.h"
+#include "tensor/matrix_f32.h"
 
 namespace sbrl {
 namespace serve {
@@ -74,10 +76,27 @@ class ServingModel {
 
   /// Potential outcomes for each row of `x` -> (n x 2) matrix, column
   /// 0 = y0_hat, column 1 = y1_hat; binary outcomes are probabilities.
-  /// Bitwise identical to the exporting estimator's
-  /// PredictPotentialOutcomes on the same rows, for any batching of
-  /// the rows. Thread-safe without synchronization.
+  /// Under the default f64 precision tier, bitwise identical to the
+  /// exporting estimator's PredictPotentialOutcomes on the same rows,
+  /// for any batching of the rows. Under Precision::kF32 (the
+  /// SBRL_PRECISION=f32 knob, resolved once at load) this routes to
+  /// ScoreOutcomesF32. Thread-safe without synchronization.
   Matrix ScoreOutcomes(const Matrix& x) const;
+
+  /// f32-tier scoring: the forward runs entirely in f32 storage and
+  /// arithmetic (LinalgKernelsF32 matmuls, float activations) over
+  /// weights taken from the exported f32 section when present and
+  /// narrowed from the f64 tensors otherwise; only the final
+  /// sigmoid/de-standardization runs in f64 on the widened head
+  /// outputs, shared with the f64 path. Agrees with the f64 scorer to
+  /// the per-method budgets in tests/precision_test.cc, never bitwise.
+  /// Deterministic per ISA level and batching-invariant like the f64
+  /// path. Thread-safe without synchronization.
+  Matrix ScoreOutcomesF32(const Matrix& x) const;
+
+  /// The precision tier ScoreOutcomes routes through (resolved from
+  /// SBRL_PRECISION once at construction; default f64).
+  Precision precision() const { return precision_; }
 
   /// Scores a batch and stamps it with the detector's population-level
   /// shift verdict (OodLevelDetector::LevelOf over all of `x`).
@@ -132,6 +151,20 @@ class ServingModel {
   struct Stack {
     std::vector<Layer> layers;
   };
+  /// f32 twin of Layer, backing the f32 scoring tier.
+  struct LayerF32 {
+    MatrixF32 w;
+    MatrixF32 b;
+    bool has_bn = false;
+    MatrixF32 gamma;
+    MatrixF32 beta;
+    MatrixF32 running_mean;
+    MatrixF32 running_var;
+  };
+  /// f32 twin of Stack.
+  struct StackF32 {
+    std::vector<LayerF32> layers;
+  };
 
   ServingModel() = default;
 
@@ -140,6 +173,9 @@ class ServingModel {
   /// The balanced representation of `x` (rep stack(s), normalization,
   /// DeR-CFR concat) — the input of both outcome heads.
   Matrix Representation(const Matrix& x) const;
+  /// f32 twins of RunStack / Representation.
+  MatrixF32 RunStackF32(const StackF32& stack, const MatrixF32& x) const;
+  MatrixF32 RepresentationF32(const MatrixF32& x) const;
 
   ServingMeta meta_;
   Stack rep_;     // TARNet/CFR representation ("rep")
@@ -149,6 +185,16 @@ class ServingModel {
   Stack body1_;   // treated head body ("heads.h1")
   Layer out0_;    // control head output unit ("heads.h0.out")
   Layer out1_;    // treated head output unit ("heads.h1.out")
+  // f32 twins of the stacks above (always built: from the exported f32
+  // section when present, else narrowed from the f64 tensors).
+  StackF32 rep32_;
+  StackF32 rep_c32_;
+  StackF32 rep_a32_;
+  StackF32 body032_;
+  StackF32 body132_;
+  LayerF32 out032_;
+  LayerF32 out132_;
+  Precision precision_ = Precision::kF64;
   std::optional<OodLevelDetector> detector_;
   double row_null_q95_ = 0.0;
   double row_null_scale_ = 1.0;

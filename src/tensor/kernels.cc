@@ -20,7 +20,13 @@ namespace lk = linalg_kernels;
 constexpr LinalgKernels kBaselineTable = {
     lk::BaselineMatmulRows,      lk::BaselineMatmulTransARows,
     lk::BaselineMatmulTransBRows, lk::BaselineBlockCrossFwd,
-    lk::BaselineBlockCrossGradDw,
+    lk::BaselineBlockCrossGradDw, lk::BaselineBlockCrossFwdGeneric,
+};
+
+constexpr LinalgKernelsF32 kBaselineTableF32 = {
+    lk::BaselineMatmulRowsF32,
+    lk::BaselineMatmulTransARowsF32,
+    lk::BaselineMatmulTransBRowsF32,
 };
 
 #if defined(SBRL_HAVE_ISA_AVX2)
@@ -53,11 +59,18 @@ bool Avx2BlockCrossGradDwOrBaseline(int64_t block, const double* gd,
 constexpr LinalgKernels kAvx2Table = {
     lk::Avx2MatmulRows,      lk::Avx2MatmulTransARows,
     lk::Avx2MatmulTransBRows, Avx2BlockCrossFwdOrBaseline,
-    Avx2BlockCrossGradDwOrBaseline,
+    Avx2BlockCrossGradDwOrBaseline, lk::Avx2BlockCrossFwdGeneric,
+};
+
+constexpr LinalgKernelsF32 kAvx2TableF32 = {
+    lk::Avx2MatmulRowsF32,
+    lk::Avx2MatmulTransARowsF32,
+    lk::Avx2MatmulTransBRowsF32,
 };
 
 #else
 constexpr LinalgKernels kAvx2Table = kBaselineTable;
+constexpr LinalgKernelsF32 kAvx2TableF32 = kBaselineTableF32;
 #endif  // SBRL_HAVE_ISA_AVX2
 
 #if defined(SBRL_HAVE_ISA_AVX512)
@@ -98,11 +111,18 @@ bool Avx512BlockCrossGradDwOrBaseline(int64_t block, const double* gd,
 constexpr LinalgKernels kAvx512Table = {
     lk::Avx512MatmulRows,      lk::Avx512MatmulTransARows,
     lk::Avx512MatmulTransBRows, Avx512BlockCrossFwdOrBaseline,
-    Avx512BlockCrossGradDwOrBaseline,
+    Avx512BlockCrossGradDwOrBaseline, lk::Avx512BlockCrossFwdGeneric,
+};
+
+constexpr LinalgKernelsF32 kAvx512TableF32 = {
+    lk::Avx512MatmulRowsF32,
+    lk::Avx512MatmulTransARowsF32,
+    lk::Avx512MatmulTransBRowsF32,
 };
 
 #else
 constexpr LinalgKernels kAvx512Table = kAvx2Table;
+constexpr LinalgKernelsF32 kAvx512TableF32 = kAvx2TableF32;
 #endif  // SBRL_HAVE_ISA_AVX512
 
 }  // namespace
@@ -118,6 +138,19 @@ const LinalgKernels& LinalgKernelsForIsa(Isa isa) {
 
 const LinalgKernels& ActiveLinalgKernels() {
   return LinalgKernelsForIsa(ActiveIsa());
+}
+
+const LinalgKernelsF32& LinalgKernelsF32ForIsa(Isa isa) {
+  switch (isa) {
+    case Isa::kBaseline: return kBaselineTableF32;
+    case Isa::kAvx2: return kAvx2TableF32;
+    case Isa::kAvx512: return kAvx512TableF32;
+  }
+  return kBaselineTableF32;
+}
+
+const LinalgKernelsF32& ActiveLinalgKernelsF32() {
+  return LinalgKernelsF32ForIsa(ActiveIsa());
 }
 
 }  // namespace sbrl

@@ -64,6 +64,20 @@ struct LinalgKernels {
                                       const std::pair<int64_t, int64_t>* pd,
                                       int64_t num_pairs, int64_t r0,
                                       int64_t r1);
+  /// Generic (any-block-size) pair forward over pairs [p0, p1): out
+  /// block p += sum_i [w_i] a(i, ca:ca+block)^T b(i, cb:cb+block) with
+  /// `wd` nullable (treated as all-ones without the multiply, which is
+  /// how BlockPairMatmulTransAInto shares this kernel with the
+  /// weighted cross). Always succeeds; used when block_cross_fwd has
+  /// no specialization. Wider levels vectorize only the independent
+  /// output column dimension, so every level is bitwise == the sliced
+  /// MatmulTransA reference.
+  using BlockCrossFwdGenericFn = void (*)(const double* ad, int64_t acols,
+                                          const double* bd, int64_t bcols,
+                                          const double* wd, double* od,
+                                          int64_t n, int64_t block,
+                                          const std::pair<int64_t, int64_t>* pd,
+                                          int64_t p0, int64_t p1);
 
   /// Matmul tile kernel of this level.
   MatmulRowsFn matmul_rows;
@@ -75,6 +89,8 @@ struct LinalgKernels {
   BlockCrossFwdFn block_cross_fwd;
   /// Specialized block-pair dw-only backward of this level.
   BlockCrossGradDwFn block_cross_grad_dw;
+  /// Generic block-pair forward fallback of this level.
+  BlockCrossFwdGenericFn block_cross_fwd_generic;
 };
 
 /// The kernel table of one Isa level. Levels not compiled into this
@@ -86,6 +102,49 @@ const LinalgKernels& LinalgKernelsForIsa(Isa isa);
 /// The table of the currently active ISA (one atomic load + array
 /// index; called once per public linalg entry point, not per tile).
 const LinalgKernels& ActiveLinalgKernels();
+
+/// Function-pointer table of the f32-tier matmul kernels (see
+/// common/precision.h). Same dispatch mechanics as LinalgKernels —
+/// one table per Isa level, resolved per public entry point in
+/// tensor/linalg_f32.cc — and the same per-kernel determinism split
+/// restated on floats:
+///  - matmul_rows / matmul_trans_a_rows vectorize only the independent
+///    output dimension with each element's multiply-then-add chain in
+///    ascending reduction order, so the f32 result is bitwise
+///    identical across every Isa level (it tracks the f64 kernels only
+///    to f32 rounding — the cross-TIER budget lives in
+///    tests/precision_test.cc).
+///  - matmul_trans_b_rows is dot-shaped: wider levels use f32 FMA
+///    lanes plus a fixed-shape horizontal sum, deterministic and
+///    chunk-invariant within a level, tolerance-bounded vs baseline.
+struct LinalgKernelsF32 {
+  /// Rows [r0, r1) of out += a * b, a (n x k), b (k x m), all float.
+  using MatmulRowsF32Fn = void (*)(const float* a, const float* b, float* o,
+                                   int64_t k, int64_t m, int64_t r0,
+                                   int64_t r1);
+  /// Rows [r0, r1) of out += a^T * b, a (k x n), b (k x m), all float.
+  using MatmulTransARowsF32Fn = void (*)(const float* a, const float* b,
+                                         float* o, int64_t k, int64_t n,
+                                         int64_t m, int64_t r0, int64_t r1);
+  /// Rows [r0, r1) of out += a * b^T, a (n x k), b (m x k), all float.
+  using MatmulTransBRowsF32Fn = void (*)(const float* a, const float* b,
+                                         float* o, int64_t k, int64_t m,
+                                         int64_t r0, int64_t r1);
+
+  /// f32 matmul tile kernel of this level.
+  MatmulRowsF32Fn matmul_rows;
+  /// f32 MatmulTransA tile kernel of this level.
+  MatmulTransARowsF32Fn matmul_trans_a_rows;
+  /// f32 MatmulTransB tile kernel of this level.
+  MatmulTransBRowsF32Fn matmul_trans_b_rows;
+};
+
+/// The f32 kernel table of one Isa level (levels not compiled in alias
+/// baseline, exactly like LinalgKernelsForIsa).
+const LinalgKernelsF32& LinalgKernelsF32ForIsa(Isa isa);
+
+/// The f32 table of the currently active ISA.
+const LinalgKernelsF32& ActiveLinalgKernelsF32();
 
 }  // namespace sbrl
 

@@ -36,6 +36,26 @@ bool BaselineBlockCrossGradDw(int64_t block, const double* gd,
                               const double* fd, double* dwd, int64_t fcols,
                               const std::pair<int64_t, int64_t>* pd,
                               int64_t num_pairs, int64_t r0, int64_t r1);
+/// See LinalgKernels::BlockCrossFwdGenericFn: the pre-dispatch generic
+/// pair loop verbatim (scalar, any block size, nullable weights).
+void BaselineBlockCrossFwdGeneric(const double* ad, int64_t acols,
+                                  const double* bd, int64_t bcols,
+                                  const double* wd, double* od, int64_t n,
+                                  int64_t block,
+                                  const std::pair<int64_t, int64_t>* pd,
+                                  int64_t p0, int64_t p1);
+/// f32-tier baseline kernels: the same loop shapes as the f64 baseline
+/// set restated on floats.
+void BaselineMatmulRowsF32(const float* a, const float* b, float* o,
+                           int64_t k, int64_t m, int64_t r0, int64_t r1);
+/// See LinalgKernelsF32::MatmulTransARowsF32Fn.
+void BaselineMatmulTransARowsF32(const float* a, const float* b, float* o,
+                                 int64_t k, int64_t n, int64_t m, int64_t r0,
+                                 int64_t r1);
+/// See LinalgKernelsF32::MatmulTransBRowsF32Fn.
+void BaselineMatmulTransBRowsF32(const float* a, const float* b, float* o,
+                                 int64_t k, int64_t m, int64_t r0,
+                                 int64_t r1);
 
 #if defined(SBRL_HAVE_ISA_AVX2)
 /// AVX2 (x86-64-v3, -ffp-contract=off) kernels. The matmul / trans-A /
@@ -62,6 +82,25 @@ bool Avx2BlockCrossGradDw(int64_t block, const double* gd, const double* fd,
                           double* dwd, int64_t fcols,
                           const std::pair<int64_t, int64_t>* pd,
                           int64_t num_pairs, int64_t r0, int64_t r1);
+/// See LinalgKernels::BlockCrossFwdGenericFn: 4-lane vectors over the
+/// independent output columns, bitwise identical to baseline.
+void Avx2BlockCrossFwdGeneric(const double* ad, int64_t acols,
+                              const double* bd, int64_t bcols,
+                              const double* wd, double* od, int64_t n,
+                              int64_t block,
+                              const std::pair<int64_t, int64_t>* pd,
+                              int64_t p0, int64_t p1);
+/// f32-tier AVX2 kernels (8-lane ymm): matmul / trans-A bitwise equal
+/// to the f32 baseline, trans-B FMA lanes + fixed horizontal sum.
+void Avx2MatmulRowsF32(const float* a, const float* b, float* o, int64_t k,
+                       int64_t m, int64_t r0, int64_t r1);
+/// See LinalgKernelsF32::MatmulTransARowsF32Fn.
+void Avx2MatmulTransARowsF32(const float* a, const float* b, float* o,
+                             int64_t k, int64_t n, int64_t m, int64_t r0,
+                             int64_t r1);
+/// See LinalgKernelsF32::MatmulTransBRowsF32Fn.
+void Avx2MatmulTransBRowsF32(const float* a, const float* b, float* o,
+                             int64_t k, int64_t m, int64_t r0, int64_t r1);
 #endif  // SBRL_HAVE_ISA_AVX2
 
 #if defined(SBRL_HAVE_ISA_AVX512)
@@ -86,6 +125,25 @@ bool Avx512BlockCrossGradDw(int64_t block, const double* gd, const double* fd,
                             double* dwd, int64_t fcols,
                             const std::pair<int64_t, int64_t>* pd,
                             int64_t num_pairs, int64_t r0, int64_t r1);
+/// See LinalgKernels::BlockCrossFwdGenericFn: 8-lane zmm over the
+/// independent output columns, bitwise identical to baseline.
+void Avx512BlockCrossFwdGeneric(const double* ad, int64_t acols,
+                                const double* bd, int64_t bcols,
+                                const double* wd, double* od, int64_t n,
+                                int64_t block,
+                                const std::pair<int64_t, int64_t>* pd,
+                                int64_t p0, int64_t p1);
+/// f32-tier AVX-512 kernels (16-lane zmm); same split as the AVX2 f32
+/// set.
+void Avx512MatmulRowsF32(const float* a, const float* b, float* o, int64_t k,
+                         int64_t m, int64_t r0, int64_t r1);
+/// See LinalgKernelsF32::MatmulTransARowsF32Fn.
+void Avx512MatmulTransARowsF32(const float* a, const float* b, float* o,
+                               int64_t k, int64_t n, int64_t m, int64_t r0,
+                               int64_t r1);
+/// See LinalgKernelsF32::MatmulTransBRowsF32Fn.
+void Avx512MatmulTransBRowsF32(const float* a, const float* b, float* o,
+                               int64_t k, int64_t m, int64_t r0, int64_t r1);
 #endif  // SBRL_HAVE_ISA_AVX512
 
 }  // namespace linalg_kernels

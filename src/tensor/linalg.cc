@@ -132,22 +132,13 @@ void BlockPairMatmulTransAInto(
   const std::pair<int64_t, int64_t>* pd = pairs.data();
   // Each pair's (block x block) slab is contiguous in the stacked
   // output, and the reduction over n stays innermost-ascending per
-  // element (bitwise MatmulTransA-identical).
+  // element (bitwise MatmulTransA-identical). The resolved ISA's
+  // generic pair kernel (nullable weights) widens only the independent
+  // output columns, preserving that contract at every level.
+  const auto fwd_generic = ActiveLinalgKernels().block_cross_fwd_generic;
   const auto run_pairs = [=](int64_t p0, int64_t p1) {
-    for (int64_t p = p0; p < p1; ++p) {
-      const int64_t ca = pd[p].first * block;
-      const int64_t cb = pd[p].second * block;
-      double* oblock = od + p * block * block;
-      for (int64_t i = 0; i < n; ++i) {
-        const double* arow = ad + i * acols + ca;
-        const double* brow = bd + i * bcols + cb;
-        for (int64_t r = 0; r < block; ++r) {
-          const double av = arow[r];
-          double* orow = oblock + r * block;
-          for (int64_t c = 0; c < block; ++c) orow[c] += av * brow[c];
-        }
-      }
-    }
+    fwd_generic(ad, acols, bd, bcols, /*wd=*/nullptr, od, n, block, pd, p0,
+                p1);
   };
   const int64_t flops_per_pair = n * block * block;
   if (num_pairs * flops_per_pair <= SerialCutoff()) {
@@ -242,26 +233,14 @@ void BlockPairWeightedCrossInto(
   // accumulate each output element's row terms in the same ascending
   // order, so they are bitwise identical across specializations AND
   // ISA levels (and == sliced MatmulTransA).
-  const auto block_cross_fwd = ActiveLinalgKernels().block_cross_fwd;
+  const LinalgKernels& kernels = ActiveLinalgKernels();
+  const auto block_cross_fwd = kernels.block_cross_fwd;
+  const auto fwd_generic = kernels.block_cross_fwd_generic;
   const auto run_pairs = [=](int64_t p0, int64_t p1) {
     if (block_cross_fwd(block, fd, wd, od, n, fcols, pd, p0, p1)) {
       return;
     }
-    for (int64_t p = p0; p < p1; ++p) {
-      const int64_t ca = pd[p].first * block;
-      const int64_t cb = pd[p].second * block;
-      double* oblock = od + p * block * block;
-      for (int64_t i = 0; i < n; ++i) {
-        const double* frow = fd + i * fcols;
-        const double wi = wd[i];
-        for (int64_t r = 0; r < block; ++r) {
-          const double av = frow[ca + r] * wi;
-          const double* brow = frow + cb;
-          double* orow = oblock + r * block;
-          for (int64_t c = 0; c < block; ++c) orow[c] += av * brow[c];
-        }
-      }
-    }
+    fwd_generic(fd, fcols, fd, fcols, wd, od, n, block, pd, p0, p1);
   };
   const int64_t flops_per_pair = n * block * block;
   if (num_pairs * flops_per_pair <= SerialCutoff()) {

@@ -47,6 +47,18 @@ inline double Hsum256(__m256d v) {
   return _mm_cvtsd_f64(_mm_add_sd(pair, swap));
 }
 
+/// Fixed-shape f32 horizontal sum of 8 lanes: halves fold
+/// ((v0+v4)+(v2+v6)) + ((v1+v5)+(v3+v7)) — the one tree every f32
+/// dot-shaped kernel at this level collapses through.
+inline float Hsum256Ps(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  const __m128 quad = _mm_add_ps(lo, hi);
+  const __m128 pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+  const __m128 one = _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, 0x1));
+  return _mm_cvtss_f32(one);
+}
+
 }  // namespace
 
 // The matmul tile kernel is the shared baseline SOURCE, auto-vectorized
@@ -56,6 +68,15 @@ inline double Hsum256(__m256d v) {
 // baseline by construction.
 #define SBRL_MATMUL_ROWS_KERNEL_NAME Avx2MatmulRows
 #include "tensor/matmul_rows_kernel.inc"
+#undef SBRL_MATMUL_ROWS_KERNEL_NAME
+
+// f32 matmul tile: the same shared source on floats, auto-vectorized
+// to 8-lane ymm at this TU's -march level — bitwise identical to the
+// f32 baseline by the same argument as the f64 pair.
+#define SBRL_MATMUL_ROWS_KERNEL_NAME Avx2MatmulRowsF32
+#define SBRL_MATMUL_ROWS_KERNEL_TYPE float
+#include "tensor/matmul_rows_kernel.inc"
+#undef SBRL_MATMUL_ROWS_KERNEL_TYPE
 #undef SBRL_MATMUL_ROWS_KERNEL_NAME
 
 void Avx2MatmulTransARows(const double* __restrict ad,
@@ -105,8 +126,13 @@ inline double DotAvx2(const double* __restrict a, const double* __restrict b,
 void Avx2MatmulTransBRows(const double* __restrict ad,
                           const double* __restrict bd, double* __restrict od,
                           int64_t k, int64_t m, int64_t r0, int64_t r1) {
-  // 2x2 blocks share the A/B row loads; every element runs the same
-  // DotAvx2 sequence, so the blocked and remainder paths agree bitwise.
+  // Blocked panel: 2 A rows x 4 B rows share one ascending-k pass, so
+  // each 4-lane A load feeds four FMA chains and each B load two —
+  // 6 loads per 8 FMAs instead of DotAvx2's 2 per 1. Every output
+  // element still runs EXACTLY DotAvx2's operation sequence (its own
+  // FMA-lane chain over ascending p, Hsum256, scalar remainder added
+  // last), so the panel kernel is bitwise identical to the 2x2-of-dots
+  // kernel it replaces and stays inside the TransB tolerance contract.
   int64_t i = r0;
   for (; i + 2 <= r1; i += 2) {
     const double* a0 = ad + i * k;
@@ -114,13 +140,45 @@ void Avx2MatmulTransBRows(const double* __restrict ad,
     double* o0 = od + i * m;
     double* o1 = o0 + m;
     int64_t j = 0;
-    for (; j + 2 <= m; j += 2) {
+    for (; j + 4 <= m; j += 4) {
       const double* b0 = bd + j * k;
       const double* b1 = b0 + k;
-      o0[j] += DotAvx2(a0, b0, k);
-      o0[j + 1] += DotAvx2(a0, b1, k);
-      o1[j] += DotAvx2(a1, b0, k);
-      o1[j + 1] += DotAvx2(a1, b1, k);
+      const double* b2 = b1 + k;
+      const double* b3 = b2 + k;
+      __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+      __m256d c02 = _mm256_setzero_pd(), c03 = _mm256_setzero_pd();
+      __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+      __m256d c12 = _mm256_setzero_pd(), c13 = _mm256_setzero_pd();
+      int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const __m256d va0 = _mm256_loadu_pd(a0 + p);
+        const __m256d va1 = _mm256_loadu_pd(a1 + p);
+        const __m256d vb0 = _mm256_loadu_pd(b0 + p);
+        c00 = _mm256_fmadd_pd(va0, vb0, c00);
+        c10 = _mm256_fmadd_pd(va1, vb0, c10);
+        const __m256d vb1 = _mm256_loadu_pd(b1 + p);
+        c01 = _mm256_fmadd_pd(va0, vb1, c01);
+        c11 = _mm256_fmadd_pd(va1, vb1, c11);
+        const __m256d vb2 = _mm256_loadu_pd(b2 + p);
+        c02 = _mm256_fmadd_pd(va0, vb2, c02);
+        c12 = _mm256_fmadd_pd(va1, vb2, c12);
+        const __m256d vb3 = _mm256_loadu_pd(b3 + p);
+        c03 = _mm256_fmadd_pd(va0, vb3, c03);
+        c13 = _mm256_fmadd_pd(va1, vb3, c13);
+      }
+      double t00 = Hsum256(c00), t01 = Hsum256(c01);
+      double t02 = Hsum256(c02), t03 = Hsum256(c03);
+      double t10 = Hsum256(c10), t11 = Hsum256(c11);
+      double t12 = Hsum256(c12), t13 = Hsum256(c13);
+      for (; p < k; ++p) {
+        const double a0p = a0[p], a1p = a1[p];
+        t00 += a0p * b0[p]; t01 += a0p * b1[p];
+        t02 += a0p * b2[p]; t03 += a0p * b3[p];
+        t10 += a1p * b0[p]; t11 += a1p * b1[p];
+        t12 += a1p * b2[p]; t13 += a1p * b3[p];
+      }
+      o0[j] += t00; o0[j + 1] += t01; o0[j + 2] += t02; o0[j + 3] += t03;
+      o1[j] += t10; o1[j + 1] += t11; o1[j + 2] += t12; o1[j + 3] += t13;
     }
     for (; j < m; ++j) {
       const double* brow = bd + j * k;
@@ -293,6 +351,42 @@ void BlockCrossGradDwImpl(const double* __restrict gd,
 
 }  // namespace
 
+void Avx2BlockCrossFwdGeneric(const double* ad, int64_t acols,
+                              const double* bd, int64_t bcols,
+                              const double* wd, double* od, int64_t n,
+                              int64_t block,
+                              const std::pair<int64_t, int64_t>* pd,
+                              int64_t p0, int64_t p1) {
+  // Generic any-block-size pair forward: baseline loop order with
+  // 4-lane vectors over the independent output columns only (separate
+  // multiply and add, scalar tail repeating the same chain), so every
+  // output element keeps the baseline's ascending-(i, r) accumulation
+  // chain — bitwise == sliced MatmulTransA.
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * block;
+    const int64_t cb = pd[p].second * block;
+    double* oblock = od + p * block * block;
+    for (int64_t i = 0; i < n; ++i) {
+      const double* arow = ad + i * acols + ca;
+      const double* brow = bd + i * bcols + cb;
+      const double wi = wd != nullptr ? wd[i] : 0.0;
+      for (int64_t r = 0; r < block; ++r) {
+        const double av = wd != nullptr ? arow[r] * wi : arow[r];
+        const __m256d avv = _mm256_set1_pd(av);
+        double* orow = oblock + r * block;
+        int64_t c = 0;
+        for (; c + 4 <= block; c += 4) {
+          const __m256d bv = _mm256_loadu_pd(brow + c);
+          const __m256d ov = _mm256_loadu_pd(orow + c);
+          _mm256_storeu_pd(orow + c,
+                           _mm256_add_pd(ov, _mm256_mul_pd(avv, bv)));
+        }
+        for (; c < block; ++c) orow[c] += av * brow[c];
+      }
+    }
+  }
+}
+
 bool Avx2BlockCrossFwd(int64_t block, const double* fd, const double* wd,
                        double* od, int64_t n, int64_t fcols,
                        const std::pair<int64_t, int64_t>* pd, int64_t p0,
@@ -320,6 +414,122 @@ bool Avx2BlockCrossGradDw(int64_t block, const double* gd, const double* fd,
       BlockCrossGradDwImpl<8>(gd, fd, dwd, fcols, pd, num_pairs, r0, r1);
       return true;
     default: return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// f32 tier (8-lane ymm). Same determinism split as the f64 kernels
+// above: trans-A widens the independent j dimension only (bitwise the
+// f32 baseline); trans-B uses f32 FMA lanes + the fixed Hsum256Ps
+// tree (tolerance vs the f32 baseline, chunk-invariant within level).
+// ---------------------------------------------------------------------------
+
+void Avx2MatmulTransARowsF32(const float* __restrict ad,
+                             const float* __restrict bd,
+                             float* __restrict od, int64_t k, int64_t n,
+                             int64_t m, int64_t r0, int64_t r1) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* acol = ad + p * n;
+    const float* brow = bd + p * m;
+    for (int64_t i = r0; i < r1; ++i) {
+      const __m256 av = _mm256_set1_ps(acol[i]);
+      float* orow = od + i * m;
+      int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        const __m256 bv = _mm256_loadu_ps(brow + j);
+        const __m256 ov = _mm256_loadu_ps(orow + j);
+        _mm256_storeu_ps(orow + j, _mm256_add_ps(ov, _mm256_mul_ps(av, bv)));
+      }
+      const float avs = acol[i];
+      for (; j < m; ++j) orow[j] += avs * brow[j];
+    }
+  }
+}
+
+namespace {
+
+/// One f32 (i, j) dot product over k: 8-lane FMA chain ascending p,
+/// Hsum256Ps, then the scalar remainder added last.
+inline float DotAvx2F32(const float* __restrict a, const float* __restrict b,
+                        int64_t k) {
+  __m256 acc = _mm256_setzero_ps();
+  int64_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + p), _mm256_loadu_ps(b + p),
+                          acc);
+  }
+  float total = Hsum256Ps(acc);
+  for (; p < k; ++p) total += a[p] * b[p];
+  return total;
+}
+
+}  // namespace
+
+void Avx2MatmulTransBRowsF32(const float* __restrict ad,
+                             const float* __restrict bd,
+                             float* __restrict od, int64_t k, int64_t m,
+                             int64_t r0, int64_t r1) {
+  // Same blocked-panel shape as the f64 kernel (2 A rows x 4 B rows
+  // per ascending-k pass); every element runs DotAvx2F32's sequence.
+  int64_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const float* a0 = ad + i * k;
+    const float* a1 = a0 + k;
+    float* o0 = od + i * m;
+    float* o1 = o0 + m;
+    int64_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const float* b0 = bd + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+      __m256 c02 = _mm256_setzero_ps(), c03 = _mm256_setzero_ps();
+      __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+      __m256 c12 = _mm256_setzero_ps(), c13 = _mm256_setzero_ps();
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 va0 = _mm256_loadu_ps(a0 + p);
+        const __m256 va1 = _mm256_loadu_ps(a1 + p);
+        const __m256 vb0 = _mm256_loadu_ps(b0 + p);
+        c00 = _mm256_fmadd_ps(va0, vb0, c00);
+        c10 = _mm256_fmadd_ps(va1, vb0, c10);
+        const __m256 vb1 = _mm256_loadu_ps(b1 + p);
+        c01 = _mm256_fmadd_ps(va0, vb1, c01);
+        c11 = _mm256_fmadd_ps(va1, vb1, c11);
+        const __m256 vb2 = _mm256_loadu_ps(b2 + p);
+        c02 = _mm256_fmadd_ps(va0, vb2, c02);
+        c12 = _mm256_fmadd_ps(va1, vb2, c12);
+        const __m256 vb3 = _mm256_loadu_ps(b3 + p);
+        c03 = _mm256_fmadd_ps(va0, vb3, c03);
+        c13 = _mm256_fmadd_ps(va1, vb3, c13);
+      }
+      float t00 = Hsum256Ps(c00), t01 = Hsum256Ps(c01);
+      float t02 = Hsum256Ps(c02), t03 = Hsum256Ps(c03);
+      float t10 = Hsum256Ps(c10), t11 = Hsum256Ps(c11);
+      float t12 = Hsum256Ps(c12), t13 = Hsum256Ps(c13);
+      for (; p < k; ++p) {
+        const float a0p = a0[p], a1p = a1[p];
+        t00 += a0p * b0[p]; t01 += a0p * b1[p];
+        t02 += a0p * b2[p]; t03 += a0p * b3[p];
+        t10 += a1p * b0[p]; t11 += a1p * b1[p];
+        t12 += a1p * b2[p]; t13 += a1p * b3[p];
+      }
+      o0[j] += t00; o0[j + 1] += t01; o0[j + 2] += t02; o0[j + 3] += t03;
+      o1[j] += t10; o1[j + 1] += t11; o1[j + 2] += t12; o1[j + 3] += t13;
+    }
+    for (; j < m; ++j) {
+      const float* brow = bd + j * k;
+      o0[j] += DotAvx2F32(a0, brow, k);
+      o1[j] += DotAvx2F32(a1, brow, k);
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* arow = ad + i * k;
+    float* orow = od + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      orow[j] += DotAvx2F32(arow, bd + j * k, k);
+    }
   }
 }
 

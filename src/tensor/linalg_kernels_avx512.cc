@@ -39,6 +39,15 @@ constexpr __mmask8 kMask5 = 0x1F;
 #include "tensor/matmul_rows_kernel.inc"
 #undef SBRL_MATMUL_ROWS_KERNEL_NAME
 
+// f32 matmul tile: the shared source on floats, auto-vectorized to
+// 16-lane zmm — bitwise identical to the f32 baseline by the same
+// argument as the f64 pair.
+#define SBRL_MATMUL_ROWS_KERNEL_NAME Avx512MatmulRowsF32
+#define SBRL_MATMUL_ROWS_KERNEL_TYPE float
+#include "tensor/matmul_rows_kernel.inc"
+#undef SBRL_MATMUL_ROWS_KERNEL_TYPE
+#undef SBRL_MATMUL_ROWS_KERNEL_NAME
+
 void Avx512MatmulTransARows(const double* __restrict ad,
                             const double* __restrict bd, double* __restrict od,
                             int64_t k, int64_t n, int64_t m, int64_t r0,
@@ -83,6 +92,11 @@ inline double DotAvx512(const double* __restrict a, const double* __restrict b,
 void Avx512MatmulTransBRows(const double* __restrict ad,
                             const double* __restrict bd, double* __restrict od,
                             int64_t k, int64_t m, int64_t r0, int64_t r1) {
+  // Blocked panel: 2 A rows x 4 B rows share one ascending-k pass (see
+  // the AVX2 kernel for the load-reuse arithmetic). Every output
+  // element still runs EXACTLY DotAvx512's operation sequence, so the
+  // panel kernel is bitwise identical to the 2x2-of-dots kernel it
+  // replaces and chunk-invariant within this level.
   int64_t i = r0;
   for (; i + 2 <= r1; i += 2) {
     const double* a0 = ad + i * k;
@@ -90,13 +104,49 @@ void Avx512MatmulTransBRows(const double* __restrict ad,
     double* o0 = od + i * m;
     double* o1 = o0 + m;
     int64_t j = 0;
-    for (; j + 2 <= m; j += 2) {
+    for (; j + 4 <= m; j += 4) {
       const double* b0 = bd + j * k;
       const double* b1 = b0 + k;
-      o0[j] += DotAvx512(a0, b0, k);
-      o0[j + 1] += DotAvx512(a0, b1, k);
-      o1[j] += DotAvx512(a1, b0, k);
-      o1[j + 1] += DotAvx512(a1, b1, k);
+      const double* b2 = b1 + k;
+      const double* b3 = b2 + k;
+      __m512d c00 = _mm512_setzero_pd(), c01 = _mm512_setzero_pd();
+      __m512d c02 = _mm512_setzero_pd(), c03 = _mm512_setzero_pd();
+      __m512d c10 = _mm512_setzero_pd(), c11 = _mm512_setzero_pd();
+      __m512d c12 = _mm512_setzero_pd(), c13 = _mm512_setzero_pd();
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m512d va0 = _mm512_loadu_pd(a0 + p);
+        const __m512d va1 = _mm512_loadu_pd(a1 + p);
+        const __m512d vb0 = _mm512_loadu_pd(b0 + p);
+        c00 = _mm512_fmadd_pd(va0, vb0, c00);
+        c10 = _mm512_fmadd_pd(va1, vb0, c10);
+        const __m512d vb1 = _mm512_loadu_pd(b1 + p);
+        c01 = _mm512_fmadd_pd(va0, vb1, c01);
+        c11 = _mm512_fmadd_pd(va1, vb1, c11);
+        const __m512d vb2 = _mm512_loadu_pd(b2 + p);
+        c02 = _mm512_fmadd_pd(va0, vb2, c02);
+        c12 = _mm512_fmadd_pd(va1, vb2, c12);
+        const __m512d vb3 = _mm512_loadu_pd(b3 + p);
+        c03 = _mm512_fmadd_pd(va0, vb3, c03);
+        c13 = _mm512_fmadd_pd(va1, vb3, c13);
+      }
+      double t00 = _mm512_reduce_add_pd(c00);
+      double t01 = _mm512_reduce_add_pd(c01);
+      double t02 = _mm512_reduce_add_pd(c02);
+      double t03 = _mm512_reduce_add_pd(c03);
+      double t10 = _mm512_reduce_add_pd(c10);
+      double t11 = _mm512_reduce_add_pd(c11);
+      double t12 = _mm512_reduce_add_pd(c12);
+      double t13 = _mm512_reduce_add_pd(c13);
+      for (; p < k; ++p) {
+        const double a0p = a0[p], a1p = a1[p];
+        t00 += a0p * b0[p]; t01 += a0p * b1[p];
+        t02 += a0p * b2[p]; t03 += a0p * b3[p];
+        t10 += a1p * b0[p]; t11 += a1p * b1[p];
+        t12 += a1p * b2[p]; t13 += a1p * b3[p];
+      }
+      o0[j] += t00; o0[j + 1] += t01; o0[j + 2] += t02; o0[j + 3] += t03;
+      o1[j] += t10; o1[j + 1] += t11; o1[j + 2] += t12; o1[j + 3] += t13;
     }
     for (; j < m; ++j) {
       const double* brow = bd + j * k;
@@ -272,6 +322,42 @@ void BlockCrossGradDw4(const double* __restrict gd,
 
 }  // namespace
 
+void Avx512BlockCrossFwdGeneric(const double* ad, int64_t acols,
+                                const double* bd, int64_t bcols,
+                                const double* wd, double* od, int64_t n,
+                                int64_t block,
+                                const std::pair<int64_t, int64_t>* pd,
+                                int64_t p0, int64_t p1) {
+  // Generic any-block-size pair forward: baseline loop order with
+  // 8-lane zmm vectors over the independent output columns only
+  // (separate multiply and add, scalar tail repeating the same chain),
+  // so every output element keeps the baseline's ascending-(i, r)
+  // accumulation chain — bitwise == sliced MatmulTransA.
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * block;
+    const int64_t cb = pd[p].second * block;
+    double* oblock = od + p * block * block;
+    for (int64_t i = 0; i < n; ++i) {
+      const double* arow = ad + i * acols + ca;
+      const double* brow = bd + i * bcols + cb;
+      const double wi = wd != nullptr ? wd[i] : 0.0;
+      for (int64_t r = 0; r < block; ++r) {
+        const double av = wd != nullptr ? arow[r] * wi : arow[r];
+        const __m512d avv = _mm512_set1_pd(av);
+        double* orow = oblock + r * block;
+        int64_t c = 0;
+        for (; c + 8 <= block; c += 8) {
+          const __m512d bv = _mm512_loadu_pd(brow + c);
+          const __m512d ov = _mm512_loadu_pd(orow + c);
+          _mm512_storeu_pd(orow + c,
+                           _mm512_add_pd(ov, _mm512_mul_pd(avv, bv)));
+        }
+        for (; c < block; ++c) orow[c] += av * brow[c];
+      }
+    }
+  }
+}
+
 bool Avx512BlockCrossFwd(int64_t block, const double* fd, const double* wd,
                          double* od, int64_t n, int64_t fcols,
                          const std::pair<int64_t, int64_t>* pd, int64_t p0,
@@ -299,6 +385,126 @@ bool Avx512BlockCrossGradDw(int64_t block, const double* gd, const double* fd,
       BlockCrossGradDwImpl<8>(gd, fd, dwd, fcols, pd, num_pairs, r0, r1);
       return true;
     default: return false;
+  }
+}
+
+void Avx512MatmulTransARowsF32(const float* __restrict ad,
+                               const float* __restrict bd,
+                               float* __restrict od, int64_t k, int64_t n,
+                               int64_t m, int64_t r0, int64_t r1) {
+  // f32 restatement of Avx512MatmulTransARows: reduction index p stays
+  // outermost-ascending, 16-lane zmm over the independent output
+  // columns with separate multiply and add — bitwise identical to the
+  // f32 baseline.
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = ad + p * n;
+    const float* brow = bd + p * m;
+    for (int64_t i = r0; i < r1; ++i) {
+      const float av = arow[i];
+      const __m512 avv = _mm512_set1_ps(av);
+      float* orow = od + i * m;
+      int64_t j = 0;
+      for (; j + 16 <= m; j += 16) {
+        const __m512 bv = _mm512_loadu_ps(brow + j);
+        const __m512 ov = _mm512_loadu_ps(orow + j);
+        _mm512_storeu_ps(orow + j, _mm512_add_ps(ov, _mm512_mul_ps(avv, bv)));
+      }
+      for (; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+namespace {
+
+/// 16-lane f32 dot product: FMA accumulator lanes in ascending p, one
+/// fixed-shape _mm512_reduce_add_ps, scalar remainder last. The f32
+/// trans-B determinism shape (chunk-invariant within this level,
+/// tolerance vs the f32 baseline).
+inline float DotAvx512F32(const float* __restrict a,
+                          const float* __restrict b, int64_t k) {
+  __m512 acc = _mm512_setzero_ps();
+  int64_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(a + p), _mm512_loadu_ps(b + p),
+                          acc);
+  }
+  float t = _mm512_reduce_add_ps(acc);
+  for (; p < k; ++p) t += a[p] * b[p];
+  return t;
+}
+
+}  // namespace
+
+void Avx512MatmulTransBRowsF32(const float* __restrict ad,
+                               const float* __restrict bd,
+                               float* __restrict od, int64_t k, int64_t m,
+                               int64_t r0, int64_t r1) {
+  // f32 blocked panel, same shape as the f64 kernel above: 2 A rows x
+  // 4 B rows share one ascending-p FMA pass; each element runs exactly
+  // DotAvx512F32's operation sequence.
+  int64_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const float* a0 = ad + i * k;
+    const float* a1 = a0 + k;
+    float* o0 = od + i * m;
+    float* o1 = o0 + m;
+    int64_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const float* b0 = bd + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      __m512 c00 = _mm512_setzero_ps(), c01 = _mm512_setzero_ps();
+      __m512 c02 = _mm512_setzero_ps(), c03 = _mm512_setzero_ps();
+      __m512 c10 = _mm512_setzero_ps(), c11 = _mm512_setzero_ps();
+      __m512 c12 = _mm512_setzero_ps(), c13 = _mm512_setzero_ps();
+      int64_t p = 0;
+      for (; p + 16 <= k; p += 16) {
+        const __m512 va0 = _mm512_loadu_ps(a0 + p);
+        const __m512 va1 = _mm512_loadu_ps(a1 + p);
+        const __m512 vb0 = _mm512_loadu_ps(b0 + p);
+        c00 = _mm512_fmadd_ps(va0, vb0, c00);
+        c10 = _mm512_fmadd_ps(va1, vb0, c10);
+        const __m512 vb1 = _mm512_loadu_ps(b1 + p);
+        c01 = _mm512_fmadd_ps(va0, vb1, c01);
+        c11 = _mm512_fmadd_ps(va1, vb1, c11);
+        const __m512 vb2 = _mm512_loadu_ps(b2 + p);
+        c02 = _mm512_fmadd_ps(va0, vb2, c02);
+        c12 = _mm512_fmadd_ps(va1, vb2, c12);
+        const __m512 vb3 = _mm512_loadu_ps(b3 + p);
+        c03 = _mm512_fmadd_ps(va0, vb3, c03);
+        c13 = _mm512_fmadd_ps(va1, vb3, c13);
+      }
+      float t00 = _mm512_reduce_add_ps(c00);
+      float t01 = _mm512_reduce_add_ps(c01);
+      float t02 = _mm512_reduce_add_ps(c02);
+      float t03 = _mm512_reduce_add_ps(c03);
+      float t10 = _mm512_reduce_add_ps(c10);
+      float t11 = _mm512_reduce_add_ps(c11);
+      float t12 = _mm512_reduce_add_ps(c12);
+      float t13 = _mm512_reduce_add_ps(c13);
+      for (; p < k; ++p) {
+        const float a0p = a0[p], a1p = a1[p];
+        t00 += a0p * b0[p]; t01 += a0p * b1[p];
+        t02 += a0p * b2[p]; t03 += a0p * b3[p];
+        t10 += a1p * b0[p]; t11 += a1p * b1[p];
+        t12 += a1p * b2[p]; t13 += a1p * b3[p];
+      }
+      o0[j] += t00; o0[j + 1] += t01; o0[j + 2] += t02; o0[j + 3] += t03;
+      o1[j] += t10; o1[j + 1] += t11; o1[j + 2] += t12; o1[j + 3] += t13;
+    }
+    for (; j < m; ++j) {
+      const float* brow = bd + j * k;
+      o0[j] += DotAvx512F32(a0, brow, k);
+      o1[j] += DotAvx512F32(a1, brow, k);
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* arow = ad + i * k;
+    float* orow = od + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      orow[j] += DotAvx512F32(arow, bd + j * k, k);
+    }
   }
 }
 

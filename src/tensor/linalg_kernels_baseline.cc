@@ -131,6 +131,41 @@ bool BaselineBlockCrossGradDw(int64_t block, const double* gd,
   }
 }
 
+void BaselineBlockCrossFwdGeneric(const double* ad, int64_t acols,
+                                  const double* bd, int64_t bcols,
+                                  const double* wd, double* od, int64_t n,
+                                  int64_t block,
+                                  const std::pair<int64_t, int64_t>* pd,
+                                  int64_t p0, int64_t p1) {
+  // The pre-dispatch generic pair loops of tensor/linalg.cc, verbatim:
+  // the weighted branch is BlockPairWeightedCrossInto's fallback, the
+  // unweighted branch BlockPairMatmulTransAInto's pair loop (no w
+  // multiply — not a *1.0, so the arithmetic is untouched).
+  for (int64_t p = p0; p < p1; ++p) {
+    const int64_t ca = pd[p].first * block;
+    const int64_t cb = pd[p].second * block;
+    double* oblock = od + p * block * block;
+    for (int64_t i = 0; i < n; ++i) {
+      const double* arow = ad + i * acols + ca;
+      const double* brow = bd + i * bcols + cb;
+      if (wd != nullptr) {
+        const double wi = wd[i];
+        for (int64_t r = 0; r < block; ++r) {
+          const double av = arow[r] * wi;
+          double* orow = oblock + r * block;
+          for (int64_t c = 0; c < block; ++c) orow[c] += av * brow[c];
+        }
+      } else {
+        for (int64_t r = 0; r < block; ++r) {
+          const double av = arow[r];
+          double* orow = oblock + r * block;
+          for (int64_t c = 0; c < block; ++c) orow[c] += av * brow[c];
+        }
+      }
+    }
+  }
+}
+
 // The hot kernels keep __restrict parameters rather than lambda
 // captures: stores through a pointer captured in a closure could alias
 // the closure itself, which blocks vectorization and register-caching
@@ -138,6 +173,15 @@ bool BaselineBlockCrossGradDw(int64_t block, const double* gd,
 
 #define SBRL_MATMUL_ROWS_KERNEL_NAME BaselineMatmulRows
 #include "tensor/matmul_rows_kernel.inc"
+#undef SBRL_MATMUL_ROWS_KERNEL_NAME
+
+// The f32 matmul tile kernel reuses the shared source with the scalar
+// type switched to float — the identical chain structure is what makes
+// the f32 tier bitwise invariant across ISA levels (tensor/kernels.h).
+#define SBRL_MATMUL_ROWS_KERNEL_NAME BaselineMatmulRowsF32
+#define SBRL_MATMUL_ROWS_KERNEL_TYPE float
+#include "tensor/matmul_rows_kernel.inc"
+#undef SBRL_MATMUL_ROWS_KERNEL_TYPE
 #undef SBRL_MATMUL_ROWS_KERNEL_NAME
 
 void BaselineMatmulTransARows(const double* __restrict ad,
@@ -204,6 +248,82 @@ void BaselineMatmulTransBRows(const double* __restrict ad,
     for (int64_t j = 0; j < m; ++j) {
       const double* brow = bd + j * k;
       double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// f32 tier: the f64 baseline loop shapes restated on floats. These are
+// the bitwise anchors of the f32 tier's cross-ISA contract, exactly as
+// the f64 kernels above anchor theirs.
+// ---------------------------------------------------------------------------
+
+void BaselineMatmulTransARowsF32(const float* __restrict ad,
+                                 const float* __restrict bd,
+                                 float* __restrict od, int64_t k, int64_t n,
+                                 int64_t m, int64_t r0, int64_t r1) {
+  // Same structure as BaselineMatmulTransARows: the reduction index p
+  // stays outermost and ascending for every element.
+  for (int64_t p = 0; p < k; ++p) {
+    const float* acol = ad + p * n;
+    const float* brow = bd + p * m;
+    for (int64_t i = r0; i < r1; ++i) {
+      const float av = acol[i];
+      float* orow = od + i * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void BaselineMatmulTransBRowsF32(const float* __restrict ad,
+                                 const float* __restrict bd,
+                                 float* __restrict od, int64_t k, int64_t m,
+                                 int64_t r0, int64_t r1) {
+  // Same 2x2 micro-kernel as BaselineMatmulTransBRows: per-element
+  // accumulators, k ascending.
+  int64_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const float* a0 = ad + i * k;
+    const float* a1 = a0 + k;
+    float* o0 = od + i * m;
+    float* o1 = o0 + m;
+    int64_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+      const float* b0 = bd + j * k;
+      const float* b1 = b0 + k;
+      float acc00 = 0.0f, acc01 = 0.0f, acc10 = 0.0f, acc11 = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float a0p = a0[p], a1p = a1[p];
+        const float b0p = b0[p], b1p = b1[p];
+        acc00 += a0p * b0p;
+        acc01 += a0p * b1p;
+        acc10 += a1p * b0p;
+        acc11 += a1p * b1p;
+      }
+      o0[j] += acc00;
+      o0[j + 1] += acc01;
+      o1[j] += acc10;
+      o1[j + 1] += acc11;
+    }
+    for (; j < m; ++j) {
+      const float* brow = bd + j * k;
+      float acc0 = 0.0f, acc1 = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc0 += a0[p] * brow[p];
+        acc1 += a1[p] * brow[p];
+      }
+      o0[j] += acc0;
+      o1[j] += acc1;
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* arow = ad + i * k;
+    float* orow = od + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* brow = bd + j * k;
+      float acc = 0.0f;
       for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
       orow[j] += acc;
     }

@@ -31,7 +31,7 @@ Matrix Matrix::ColumnVector(const std::vector<double>& values) {
 }
 
 Matrix Matrix::FromFlat(int64_t rows, int64_t cols,
-                        std::vector<double>&& values) {
+                        AlignedVector<double>&& values) {
   SBRL_CHECK_GE(rows, 0);
   SBRL_CHECK_GE(cols, 0);
   SBRL_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
@@ -156,7 +156,9 @@ Matrix Matrix::Row(int64_t r) const {
   return out;
 }
 
-std::vector<double> Matrix::ToVector() const { return data_; }
+std::vector<double> Matrix::ToVector() const {
+  return std::vector<double>(data_.begin(), data_.end());
+}
 
 std::string Matrix::ToString(int max_rows, int max_cols) const {
   std::ostringstream os;

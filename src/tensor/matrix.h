@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 
 namespace sbrl {
@@ -45,9 +46,11 @@ class Matrix {
   /// Adopts `values` (row-major, size rows*cols) as the backing storage
   /// of a (rows x cols) matrix — no copy. This is the zero-copy seam
   /// the streaming/flat-buffer CSV loader hands its accumulation
-  /// buffers through.
+  /// buffers through; it takes the aligned vector type so adopted
+  /// storage meets the same kTensorAlignment contract as constructed
+  /// storage.
   static Matrix FromFlat(int64_t rows, int64_t cols,
-                         std::vector<double>&& values);
+                         AlignedVector<double>&& values);
 
   /// Builds a (1 x n) row vector from a flat vector.
   static Matrix RowVector(const std::vector<double>& values);
@@ -166,7 +169,8 @@ class Matrix {
   /// Copy of row `r` as a (1 x m) matrix.
   Matrix Row(int64_t r) const;
 
-  /// Flattens to a std::vector in row-major order.
+  /// Flattens to a std::vector in row-major order (copies — the
+  /// backing storage itself is an AlignedVector).
   std::vector<double> ToVector() const;
 
   /// Multi-line human-readable rendering (for debugging / examples).
@@ -175,7 +179,10 @@ class Matrix {
  private:
   int64_t rows_;
   int64_t cols_;
-  std::vector<double> data_;
+  /// 64-byte-aligned backing storage (see common/aligned.h): fresh,
+  /// pool-recycled, and FromFlat-adopted buffers all satisfy
+  /// IsTensorAligned(data()).
+  AlignedVector<double> data_;
 };
 
 /// True when shapes match and all elements differ by at most `tol`.

@@ -1,0 +1,66 @@
+#include "tensor/matrix_f32.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sbrl {
+
+MatrixF32 MatrixF32::FromF64(const Matrix& src) {
+  MatrixF32 out;
+  out.ResetNarrowOf(src);
+  return out;
+}
+
+std::string MatrixF32::ShapeString() const {
+  std::ostringstream os;
+  os << "(" << rows_ << "x" << cols_ << ")";
+  return os.str();
+}
+
+void MatrixF32::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void MatrixF32::ResetZero(int64_t rows, int64_t cols) {
+  SBRL_CHECK_GE(rows, 0);
+  SBRL_CHECK_GE(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<size_t>(rows * cols), 0.0f);
+}
+
+void MatrixF32::ResetNarrowOf(const Matrix& src) {
+  rows_ = src.rows();
+  cols_ = src.cols();
+  data_.resize(static_cast<size_t>(src.size()));
+  const double* sd = src.data();
+  float* od = data_.data();
+  const int64_t n = src.size();
+  for (int64_t i = 0; i < n; ++i) od[i] = static_cast<float>(sd[i]);
+}
+
+Matrix MatrixF32::ToF64() const {
+  Matrix out(rows_, cols_);
+  WidenInto(&out);
+  return out;
+}
+
+void MatrixF32::WidenInto(Matrix* out) const {
+  SBRL_CHECK(out != nullptr);
+  out->ResetZero(rows_, cols_);
+  const float* sd = data_.data();
+  double* od = out->data();
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) od[i] = static_cast<double>(sd[i]);
+}
+
+bool AllClose(const MatrixF32& a, const MatrixF32& b, double tol) {
+  if (!a.same_shape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sbrl
